@@ -1,0 +1,64 @@
+// Command benchgen materializes the synthetic benchmark suite as
+// structural Verilog netlists (the ISCAS89 subset), so the circuits the
+// experiments run on can be inspected, archived, or fed to other tools.
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks [-benchmarks s1196,Plasma]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/verilog"
+)
+
+func main() {
+	out := flag.String("out", "benchmarks", "output directory")
+	names := flag.String("benchmarks", "", "comma-separated subset (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	lib := cell.Default(1.0)
+	for _, p := range bench.ISCAS89 {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		seq, err := p.BuildSeq(lib)
+		if err != nil {
+			fatalf("%s: %v", p.Name, err)
+		}
+		path := filepath.Join(*out, p.Name+".v")
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := verilog.Write(f, seq); err != nil {
+			f.Close()
+			fatalf("%s: %v", p.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d flops, %d gates)\n", path, len(seq.FFs), seq.GateCount())
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
+	os.Exit(1)
+}

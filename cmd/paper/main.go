@@ -1,0 +1,93 @@
+// Command paper regenerates every table of the paper's evaluation
+// (Tables I–IX of "Retiming of Two-Phase Latch-Based Resilient
+// Circuits") on the benchmark suite and prints them in text, Markdown or
+// CSV form.
+//
+// Usage:
+//
+//	paper [-benchmarks s1196,s1423,...] [-overheads 0.5,1,2]
+//	      [-tables 1,2,...] [-cycles N] [-format text|md|csv] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"relatch/internal/experiments"
+	"relatch/internal/report"
+)
+
+func main() {
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (default: all twelve)")
+	overheads := flag.String("overheads", "", "comma-separated EDL overheads c (default: 0.5,1,2)")
+	tables := flag.String("tables", "", "comma-separated table numbers 1-9 (default: all, plus the summary)")
+	cycles := flag.Int("cycles", 1000, "error-rate simulation cycles (scaled down on large circuits)")
+	format := flag.String("format", "text", "output format: text, md or csv")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := experiments.Config{SimCycles: *cycles}
+	if *benchmarks != "" {
+		cfg.Profiles = strings.Split(*benchmarks, ",")
+	}
+	if *overheads != "" {
+		for _, s := range strings.Split(*overheads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatalf("bad overhead %q: %v", s, err)
+			}
+			cfg.Overheads = append(cfg.Overheads, v)
+		}
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	suite, err := experiments.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	want := map[int]bool{}
+	if *tables != "" {
+		for _, s := range strings.Split(*tables, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 || n > 9 {
+				fatalf("bad table number %q", s)
+			}
+			want[n] = true
+		}
+	}
+
+	out := os.Stdout
+	for i, t := range suite.AllTables() {
+		if len(want) > 0 && !want[i+1] {
+			continue
+		}
+		emit(out, t, *format)
+	}
+	if len(want) == 0 {
+		emit(out, suite.AblationSizingReclaim(), *format)
+		emit(out, suite.Summary(), *format)
+	}
+}
+
+func emit(w io.Writer, t *report.Table, format string) {
+	switch format {
+	case "md":
+		fmt.Fprintln(w, t.Markdown())
+	case "csv":
+		fmt.Fprintf(w, "# %s\n%s\n", t.Title, t.CSV())
+	default:
+		fmt.Fprintln(w, t.String())
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Command rar retimes one circuit with a chosen approach and prints the
+// resulting sequential cost, error-detecting masters and latch placement
+// summary. Circuits come either from the built-in benchmark suite or
+// from a structural Verilog netlist (ISCAS89 subset).
+//
+// Usage:
+//
+//	rar -bench s1423 -approach grar -c 1.0
+//	rar -verilog s27.v -approach rvl -c 2.0 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/core"
+	"relatch/internal/edl"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+	"relatch/internal/verilog"
+	"relatch/internal/vlib"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "built-in benchmark name (see -list)")
+	verilogPath := flag.String("verilog", "", "structural Verilog netlist to retime instead")
+	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	approach := flag.String("approach", "grar", "retiming approach: grar, base, nvl, evl or rvl")
+	overhead := flag.Float64("c", 1.0, "EDL overhead factor c")
+	method := flag.String("method", "simplex", "flow solver: simplex or ssp")
+	gateModel := flag.Bool("gate-model", false, "optimize with the conservative gate-delay model")
+	dump := flag.Bool("dump", false, "dump the slave-latch placement")
+	instrument := flag.String("instrument", "", "write the error-detection-instrumented netlist (Verilog) to this file")
+	clusterSize := flag.Int("cluster", 8, "error-detecting latch cluster size for -instrument")
+	flag.Parse()
+
+	if *list {
+		for _, p := range bench.ISCAS89 {
+			fmt.Printf("%-8s flops=%-5d gates≈%-6d NCE=%d\n", p.Name, p.Flops, p.Gates, p.NCE)
+		}
+		return
+	}
+
+	lib := cell.Default(*overhead)
+	var c *netlist.Circuit
+	var seq *netlist.SeqCircuit
+	var scheme clocking.Scheme
+	switch {
+	case *benchName != "":
+		prof, ok := bench.ProfileByName(*benchName)
+		if !ok {
+			fatalf("unknown benchmark %q (try -list)", *benchName)
+		}
+		var err error
+		if seq, err = prof.BuildSeq(lib); err != nil {
+			fatalf("%v", err)
+		}
+		if c, scheme, err = prof.CutAndCalibrate(seq); err != nil {
+			fatalf("%v", err)
+		}
+	case *verilogPath != "":
+		f, err := os.Open(*verilogPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		seq, err = verilog.Parse(f, lib)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if c, err = seq.Cut(); err != nil {
+			fatalf("%v", err)
+		}
+		scheme = bench.SchemeFor(c, sta.DefaultOptions(lib))
+	default:
+		fatalf("need -bench or -verilog (try -list)")
+	}
+
+	m := flow.MethodSimplex
+	if *method == "ssp" {
+		m = flow.MethodSSP
+	}
+
+	fmt.Printf("circuit %s: %d gates, %d boundary registers, %s\n",
+		c.Name, c.GateCount(), c.FlopCount(), scheme)
+
+	var placement *netlist.Placement
+	var edMasters map[int]bool
+	switch *approach {
+	case "grar", "base":
+		opt := core.Options{Scheme: scheme, EDLCost: *overhead, Method: m}
+		if *gateModel {
+			opt.TimingModel = sta.ModelGate
+		}
+		ap := core.ApproachGRAR
+		if *approach == "base" {
+			ap = core.ApproachBase
+		}
+		res, err := core.Retime(c, opt, ap)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s: %d slave latches, %d masters, %d error-detecting\n",
+			ap, res.SlaveCount, res.MasterCount, res.EDCount)
+		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v\n",
+			res.SeqArea, res.TotalArea, res.Runtime)
+		if len(res.Violations) > 0 {
+			fmt.Printf("WARNING: %d residual timing violations\n", len(res.Violations))
+		}
+		placement = res.Placement
+		edMasters = res.EDMasters
+	case "nvl", "evl", "rvl":
+		variant := map[string]vlib.Variant{"nvl": vlib.NVL, "evl": vlib.EVL, "rvl": vlib.RVL}[*approach]
+		res, err := vlib.Retime(c, vlib.Options{Scheme: scheme, EDLCost: *overhead, Method: m, PostSwap: true}, variant)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%v: %d slave latches, %d masters, %d error-detecting (%d swaps, %d upsized)\n",
+			variant, res.SlaveCount, res.MasterCount, res.EDCount, res.Swaps, res.Upsized)
+		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v\n",
+			res.SeqArea, res.TotalArea, res.Runtime)
+		placement = res.Placement
+		edMasters = res.EDMasters
+	default:
+		fatalf("unknown approach %q", *approach)
+	}
+
+	if *instrument != "" {
+		names := edFlopNames(c, edMasters)
+		if len(names) == 0 {
+			fmt.Println("no error-detecting masters; writing the design uninstrumented")
+		}
+		inst, err := edl.Instrument(seq, names, *clusterSize)
+		if err != nil {
+			fatalf("instrument: %v", err)
+		}
+		f, err := os.Create(*instrument)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := verilog.Write(f, inst); err != nil {
+			f.Close()
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote instrumented netlist with %d detectors to %s\n", len(names), *instrument)
+	}
+
+	if *dump && placement != nil {
+		fmt.Println("slave latches at the outputs of:")
+		drivers := placement.LatchedDrivers()
+		names := make([]string, 0, len(drivers))
+		for _, id := range drivers {
+			names = append(names, c.Nodes[id].Name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s\n", n)
+		}
+	}
+}
+
+// edFlopNames maps error-detecting cut endpoints back to the sequential
+// design's register names ("<ff>/D" endpoints; registered primary
+// outputs have no state register to protect and are skipped).
+func edFlopNames(c *netlist.Circuit, ed map[int]bool) []string {
+	var names []string
+	for id := range ed {
+		name := c.Nodes[id].Name
+		if n := strings.TrimSuffix(name, "/D"); n != name {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rar: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Plasma retimes the 3-stage MIPS-like CPU benchmark (the stand-in for
+// the paper's Plasma open core) with base retiming, G-RAR and RVL-RAR
+// across the three EDL overheads, printing the per-approach areas — a
+// one-circuit slice of the paper's Tables IV–VI.
+//
+//	go run ./examples/plasma
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/core"
+	"relatch/internal/report"
+	"relatch/internal/vlib"
+)
+
+func main() {
+	lib := cell.Default(1.0)
+	prof, _ := bench.ProfileByName("Plasma")
+	c, scheme, err := prof.Build(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Plasma: %d gates, %d boundary registers, logic depth %d\n",
+		c.GateCount(), c.FlopCount(), c.LogicDepth())
+	fmt.Printf("clocking: %s\n\n", scheme)
+
+	t := report.New("Plasma retiming comparison",
+		"c", "approach", "slaves", "EDL", "seq area", "total area", "runtime")
+	for _, ov := range []float64{0.5, 1.0, 2.0} {
+		opt := core.Options{Scheme: scheme, EDLCost: ov}
+		base, err := core.Retime(c, opt, core.ApproachBase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grar, err := core.Retime(c, opt, core.ApproachGRAR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rvl, err := vlib.Retime(c, vlib.Options{Scheme: scheme, EDLCost: ov, PostSwap: true}, vlib.RVL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%g", ov), "base", report.I(base.SlaveCount), report.I(base.EDCount),
+			report.F(base.SeqArea, 1), report.F(base.TotalArea, 1), base.Runtime.Round(1e6).String())
+		t.AddRow("", "rvl-rar", report.I(rvl.SlaveCount), report.I(rvl.EDCount),
+			report.F(rvl.SeqArea, 1), report.F(rvl.TotalArea, 1), rvl.Runtime.Round(1e6).String())
+		t.AddRow("", "g-rar", report.I(grar.SlaveCount), report.I(grar.EDCount),
+			report.F(grar.SeqArea, 1), report.F(grar.TotalArea, 1), grar.Runtime.Round(1e6).String())
+	}
+	fmt.Print(t.String())
+}

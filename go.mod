@@ -1,0 +1,3 @@
+module relatch
+
+go 1.22

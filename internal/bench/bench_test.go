@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+func TestRandomCloudDeterministic(t *testing.T) {
+	lib := cell.Default(1.0)
+	spec := RandomSpec{Inputs: 3, Outputs: 2, Gates: 15, Locality: 3}
+	a, err := RandomCloud("x", lib, rand.New(rand.NewSource(5)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCloud("x", lib, rand.New(rand.NewSource(5)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed, different node count")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Name != b.Nodes[i].Name || len(a.Nodes[i].Fanin) != len(b.Nodes[i].Fanin) {
+			t.Fatal("same seed, different structure")
+		}
+	}
+}
+
+func TestRandomCloudRejectsBadSpec(t *testing.T) {
+	lib := cell.Default(1.0)
+	_, err := RandomCloud("bad", lib, rand.New(rand.NewSource(1)), RandomSpec{})
+	if err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	if len(ISCAS89) != 12 {
+		t.Fatalf("profiles = %d, want 12 (11 ISCAS89 + Plasma)", len(ISCAS89))
+	}
+	if _, ok := ProfileByName("s1196"); !ok {
+		t.Error("s1196 missing")
+	}
+	if _, ok := ProfileByName("nothing"); ok {
+		t.Error("bogus profile found")
+	}
+	p, _ := ProfileByName("Plasma")
+	if !p.Plasma {
+		t.Error("Plasma profile must use the CPU generator")
+	}
+}
+
+func TestSmallProfilesBuild(t *testing.T) {
+	lib := cell.Default(1.0)
+	for _, name := range []string{"s1196", "s1238", "s1423", "s1488"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		c, scheme, err := p.Build(lib)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := scheme.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Boundary register accounting: profile flops plus PO registers.
+		if got, want := c.FlopCount(), p.Flops+p.PORegs; got != want {
+			t.Errorf("%s: FlopCount = %d, want %d", name, got, want)
+		}
+		if got := len(c.Inputs); got != p.Flops {
+			t.Errorf("%s: inputs = %d, want flop count %d", name, got, p.Flops)
+		}
+		if got := c.GateCount(); got < p.Gates*9/10 || got > p.Gates*11/10 {
+			t.Errorf("%s: gates = %d, want about %d", name, got, p.Gates)
+		}
+		// NCE calibration within a reasonable band of Table I.
+		nce := MeasureInitialED(c, scheme)
+		if nce < p.NCE/2 || nce > p.NCE*3+4 {
+			t.Errorf("%s: initial-ED NCE = %d, want near %d", name, nce, p.NCE)
+		}
+		// Stuck endpoints (combinational arrivals past Π) match exactly:
+		// calibration threads Π between the designated arrivals.
+		if stuck := MeasureNCE(c, scheme); stuck < p.Stuck-2 || stuck > p.Stuck+2 {
+			t.Errorf("%s: stuck endpoints = %d, want %d", name, stuck, p.Stuck)
+		}
+		// The worst path must fit the stage budget.
+		tm := sta.Analyze(c, sta.DefaultOptions(lib))
+		for _, o := range c.Outputs {
+			if tm.Arrival(o) > scheme.MaxStageDelay() {
+				t.Errorf("%s: endpoint %s misses the stage budget", name, o.Name)
+			}
+		}
+		// Every boundary register's Q must drive logic.
+		for _, in := range c.Inputs {
+			if len(in.Fanout) == 0 {
+				t.Errorf("%s: dangling input %s", name, in.Name)
+			}
+		}
+	}
+}
+
+func TestProfilesDeterministic(t *testing.T) {
+	lib := cell.Default(1.0)
+	p, _ := ProfileByName("s1423")
+	a, _, err := p.Build(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.Build(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("profile build is not deterministic")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Name != b.Nodes[i].Name {
+			t.Fatal("profile build is not deterministic")
+		}
+	}
+}
+
+func TestPlasmaBuilds(t *testing.T) {
+	lib := cell.Default(1.0)
+	p, _ := ProfileByName("Plasma")
+	c, scheme, err := p.Build(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.FlopCount(), p.Flops+p.PORegs; got != want {
+		t.Errorf("FlopCount = %d, want %d", got, want)
+	}
+	if got := len(c.Inputs); got != p.Flops {
+		t.Errorf("inputs = %d, want %d", got, p.Flops)
+	}
+	if c.GateCount() < 6000 {
+		t.Errorf("gate count = %d; the CPU should be thousands of gates", c.GateCount())
+	}
+	// Spot-check register wiring.
+	if n, ok := c.Node("r7[13]/Q"); !ok || n.Kind != netlist.KindInput {
+		t.Error("r7[13]/Q missing")
+	}
+	if n, ok := c.Node("pc[0]/Q"); !ok || n.Kind != netlist.KindInput {
+		t.Error("pc[0]/Q missing")
+	}
+	if n, ok := c.Node("pc[0]/D"); !ok || n.Kind != netlist.KindOutput {
+		t.Error("pc[0]/D missing")
+	}
+	// PC bit 0 Q and D share a flop index (feedback).
+	nq, _ := c.Node("pc[0]/Q")
+	nd, _ := c.Node("pc[0]/D")
+	if nq.Flop != nd.Flop {
+		t.Error("pc[0] Q/D flop indices differ")
+	}
+	// Depth must be dominated by the ripple carry chain.
+	if d := c.LogicDepth(); d < 40 {
+		t.Errorf("logic depth = %d; expected a deep ripple-carry chain", d)
+	}
+	tm := sta.Analyze(c, sta.DefaultOptions(lib))
+	for _, o := range c.Outputs {
+		if tm.Arrival(o) > scheme.MaxStageDelay() {
+			t.Errorf("endpoint %s misses the stage budget", o.Name)
+		}
+	}
+	// Every input drives logic (no dangling state bits).
+	for _, in := range c.Inputs {
+		if len(in.Fanout) == 0 {
+			t.Errorf("dangling input %s", in.Name)
+		}
+	}
+}
+
+func TestSchemeForPositive(t *testing.T) {
+	lib := cell.Default(1.0)
+	c, err := RandomCloud("s", lib, rand.New(rand.NewSource(3)), RandomSpec{Inputs: 2, Outputs: 1, Gates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SchemeFor(c, sta.DefaultOptions(lib))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() <= 0 {
+		t.Error("degenerate scheme")
+	}
+}

@@ -1,0 +1,498 @@
+package bench
+
+import (
+	"fmt"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// BuildPlasma generates the gate-level 3-stage MIPS-like CPU standing in
+// for the Plasma open core of the paper's evaluation: a 32-entry × 32-bit
+// register file with two read ports and one write port, a ripple-carry
+// adder/subtractor ALU with logic ops, set-less-than and a 5-stage
+// barrel shifter, PC/branch logic, an instruction-fetch stage fed by a
+// combinational instruction-memory surrogate, and pipeline/CSR registers
+// padding the state up to the profile's flop count. All state appears as
+// master-latch boundary pairs (cut-cloud form), so the CPU drops into the
+// same retiming flows as every other benchmark.
+func BuildPlasma(lib *cell.Library, p Profile) (*netlist.SeqCircuit, error) {
+	w := &wordBuilder{
+		b:   netlist.NewSeqBuilder(p.Name, lib),
+		lib: lib,
+	}
+
+	// --- State registers (Q sides first; D sides connected at the end).
+	pc := w.register("pc", 32)
+	ir := w.register("ir", 32)
+	regfile := make([]reg, 32)
+	for i := range regfile {
+		regfile[i] = w.register(fmt.Sprintf("r%d", i), 32)
+	}
+	wbReg := w.register("wb", 32) // writeback data
+	mdr := w.register("mdr", 32)  // memory data register
+	mar := w.register("mar", 32)  // memory address register
+	sdr := w.register("sdr", 32)  // store data register
+	hi := w.register("hi", 16)    // multiplier result, upper half
+	lo := w.register("lo", 16)    // multiplier result, lower half
+	mps := w.register("mps", 32)  // mult pipeline, carry-save sum
+	mpc := w.register("mpc", 32)  // mult pipeline, carry-save carry
+	ctl := w.register("ctl", 12)  // pipeline control bits
+	flopsSoFar := 32 + 32 + 32*32 + 32 + 32 + 32 + 32 + 16 + 16 + 32 + 32 + 12
+
+	// CSR / padding bank to reach the profile's flop count (the real
+	// Plasma carries interrupt, coprocessor-0 and UART state).
+	pad := p.Flops - p.PIRegs - flopsSoFar
+	if pad < 0 {
+		pad = 0
+	}
+	csr := w.register("csr", pad)
+
+	// Primary inputs: external interrupt / memory interface (registered
+	// automatically when the design is cut into two-phase form).
+	extern := make([]*netlist.SeqNode, p.PIRegs)
+	for i := range extern {
+		extern[i] = w.b.PI(fmt.Sprintf("ext%d", i))
+	}
+	w.gndSeed = extern[0]
+
+	// --- Fetch: the instruction-memory surrogate mixes PC bits through
+	// a couple of XOR/AND layers; real fetch data is external anyway.
+	instr := make(word, 32)
+	for i := range instr {
+		a := pc.q[(i*7+3)%32]
+		b := pc.q[(i*11+14)%32]
+		c := pc.q[(i*13+29)%32]
+		e := extern[i%len(extern)]
+		instr[i] = w.xor(w.and(a, b), w.xor(c, e))
+	}
+
+	// --- Decode fields from the instruction register.
+	rs := ir.q[21:26]
+	rt := ir.q[16:21]
+	imm := ir.q[0:16]
+	opcode := ir.q[26:32]
+
+	// Register file read: two 32:1 mux trees per bit.
+	readPort := func(sel word) word {
+		out := make(word, 32)
+		for bit := 0; bit < 32; bit++ {
+			lanes := make(word, 32)
+			for r := 0; r < 32; r++ {
+				lanes[r] = regfile[r].q[bit]
+			}
+			out[bit] = w.muxTree(lanes, sel)
+		}
+		return out
+	}
+	opA := readPort(rs)
+	opB := readPort(rt)
+
+	// Sign-extended immediate.
+	ext := make(word, 32)
+	copy(ext, imm)
+	for i := 16; i < 32; i++ {
+		ext[i] = imm[15]
+	}
+	useImm := opcode[3]
+	aluB := w.muxWord(opB, ext, useImm)
+
+	// --- Execute: ALU.
+	sub := opcode[1]
+	bxor := w.xorWordBit(aluB, sub) // invert B for subtraction
+	sum, cout := w.rippleAdder(opA, bxor, sub)
+	andW := w.andWord(opA, aluB)
+	orW := w.orWord(opA, aluB)
+	xorW := w.xorWord(opA, aluB)
+	// Unsigned set-less-than: a + ~b + 1 borrows exactly when a < b.
+	slt := w.zeroExtend(w.not(cout), 32)
+	shamt := ir.q[6:11]
+	shifted := w.barrelShift(aluB, shamt, opcode[0])
+
+	alu := w.muxWord(sum, andW, opcode[2])
+	alu = w.muxWord(alu, orW, w.and(opcode[2], opcode[0]))
+	alu = w.muxWord(alu, xorW, w.and(opcode[2], opcode[1]))
+	alu = w.muxWord(alu, shifted, opcode[4])
+	alu = w.muxWord(alu, slt, w.and(opcode[4], opcode[1]))
+
+	// Multiply unit: a 16×16 carry-save array multiplier, pipelined like
+	// the Plasma core's multicycle mult block: the redundant sum/carry
+	// vectors are registered (mps/mpc) and resolved to HI/LO by a ripple
+	// adder in the following cycle.
+	msum, mcarry := w.arrayMultiplyCSA(opA[:16], aluB[:16])
+	product, _ := w.rippleAdder(mps.q, mpc.q, nil)
+
+	// Address generation: a dedicated adder computes the effective
+	// address, and the store aligner rotates the store data by the low
+	// address bits.
+	effAddr, _ := w.rippleAdder(opA, ext, nil)
+	storeAligned := w.barrelShift(opB, effAddr[:5], opcode[0])
+
+	// Branch compare and next PC.
+	eqBits := w.xorWord(opA, opB)
+	neq := w.orTree(eqBits)
+	takeBranch := w.and(opcode[5], w.not(neq))
+	pcPlus4, _ := w.increment(pc.q, 4)
+	target, _ := w.rippleAdder(pc.q, ext, nil)
+	nextPC := w.muxWord(pcPlus4, target, takeBranch)
+
+	// Memory interface surrogate: load data mixes MAR, the aligned
+	// store path and externals through two XOR layers.
+	loadData := make(word, 32)
+	for i := range loadData {
+		m := w.xor(mar.q[i], storeAligned[(i*3+7)%32])
+		loadData[i] = w.xor(m, extern[(i*5+1)%len(extern)])
+	}
+	writeback := w.muxWord(alu, mdr.q, opcode[5])
+
+	// Fold the multiplier result into the writeback path (MFHI/MFLO).
+	mfhl := append(append(word{}, lo.q...), hi.q...)
+	writeback = w.muxWord(writeback, mfhl, w.and(opcode[4], opcode[3]))
+
+	// --- Register file write: decoder + per-bit write muxes.
+	rd := ir.q[11:16]
+	sel := w.decoder5(rd)
+	writeEn := w.not(opcode[5])
+	for r := 0; r < 32; r++ {
+		en := w.and(sel[r], writeEn)
+		if r == 0 {
+			en = w.and(en, w.gnd()) // $zero never written
+		}
+		regfile[r].setD(w.muxWord(regfile[r].q, wbReg.q, en))
+	}
+
+	// --- Register D-side wiring.
+	pc.setD(nextPC)
+	ir.setD(instr)
+	wbReg.setD(writeback)
+	mdr.setD(loadData)
+	mar.setD(effAddr)
+	sdr.setD(storeAligned)
+	mps.setD(msum)
+	mpc.setD(mcarry)
+	hi.setD(product[16:32])
+	lo.setD(product[0:16])
+	ctlD := make(word, len(ctl.q))
+	for i := range ctlD {
+		ctlD[i] = w.xor(opcode[i%6], ctl.q[(i+1)%len(ctl.q)])
+	}
+	ctl.setD(ctlD)
+	if len(csr.q) > 0 {
+		// The CSR bank counts like the core's timers, in independent
+		// 32-bit slices (a single flat carry chain would dwarf the ALU
+		// critical path), with datapath coupling so retiming sees real
+		// fan-in cones.
+		csrD := make(word, 0, len(csr.q))
+		for off := 0; off < len(csr.q); off += 32 {
+			end := off + 32
+			if end > len(csr.q) {
+				end = len(csr.q)
+			}
+			inc, _ := w.increment(csr.q[off:end], 1)
+			csrD = append(csrD, inc...)
+		}
+		for i := range csrD {
+			csrD[i] = w.xor(csrD[i], w.and(hi.q[i%16], writeback[i%32]))
+		}
+		csr.setD(csrD)
+	}
+
+	// Primary outputs: memory address and store data (registered when
+	// the design is cut).
+	for i := 0; i < p.PORegs; i++ {
+		var src *netlist.SeqNode
+		if i < 32 {
+			src = w.buf(mar.q[i]) // isolate the PO load from the register Q
+		} else if i < 64 {
+			src = w.buf(sdr.q[i-32])
+		} else {
+			src = w.buf(writeback[i%32])
+		}
+		w.b.PO(fmt.Sprintf("out%d", i), src)
+	}
+
+	return w.b.Build()
+}
+
+// word is a little-endian vector of nodes.
+type word []*netlist.SeqNode
+
+// reg is a cut-cloud register: Q-side inputs now, D-side outputs later.
+type reg struct {
+	q    word
+	setD func(d word)
+}
+
+// wordBuilder layers word-level construction over the netlist builder.
+type wordBuilder struct {
+	b       *netlist.SeqBuilder
+	lib     *cell.Library
+	n       int
+	gndN    *netlist.SeqNode
+	gndSeed *netlist.SeqNode
+}
+
+func (w *wordBuilder) name(op string) string {
+	w.n++
+	return fmt.Sprintf("%s_%d", op, w.n)
+}
+
+func (w *wordBuilder) cell(f cell.Function) *cell.Cell { return w.lib.MustCell(f, 1) }
+
+func (w *wordBuilder) not(a *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("inv"), w.cell(cell.FuncInv), a)
+}
+func (w *wordBuilder) buf(a *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("buf"), w.cell(cell.FuncBuf), a)
+}
+func (w *wordBuilder) and(a, b *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("and"), w.cell(cell.FuncAnd2), a, b)
+}
+func (w *wordBuilder) or(a, b *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("or"), w.cell(cell.FuncOr2), a, b)
+}
+func (w *wordBuilder) xor(a, b *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("xor"), w.cell(cell.FuncXor2), a, b)
+}
+func (w *wordBuilder) mux(a, b, s *netlist.SeqNode) *netlist.SeqNode {
+	return w.b.Gate(w.name("mux"), w.cell(cell.FuncMux2), a, b, s)
+}
+
+// gnd builds a constant-0 surrogate: NOR(a, NOT a) = 0 for any driver a,
+// seeded from the first external input.
+func (w *wordBuilder) gnd() *netlist.SeqNode {
+	if w.gndN == nil {
+		a := w.gndSeed
+		w.gndN = w.b.Gate(w.name("gnd"), w.cell(cell.FuncNor2), a, w.not(a))
+	}
+	return w.gndN
+}
+
+// register allocates a flip-flop register of the given width.
+func (w *wordBuilder) register(name string, width int) reg {
+	q := make(word, width)
+	for i := range q {
+		q[i] = w.b.FF(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return reg{
+		q: q,
+		setD: func(d word) {
+			if len(d) != width {
+				panic(fmt.Sprintf("bench: register %s width %d, got %d", name, width, len(d)))
+			}
+			for i := range d {
+				w.b.SetD(q[i], d[i])
+			}
+		},
+	}
+}
+
+// rippleAdder sums a+b with optional carry-in node; cin may be nil.
+func (w *wordBuilder) rippleAdder(a, b word, cin *netlist.SeqNode) (word, *netlist.SeqNode) {
+	sum := make(word, len(a))
+	carry := cin
+	for i := range a {
+		axb := w.xor(a[i], b[i])
+		if carry == nil {
+			sum[i] = w.buf(axb)
+			carry = w.and(a[i], b[i])
+			continue
+		}
+		sum[i] = w.xor(axb, carry)
+		carry = w.or(w.and(a[i], b[i]), w.and(axb, carry))
+	}
+	return sum, carry
+}
+
+// increment adds the constant k (a power-of-two-ish small constant) to a.
+func (w *wordBuilder) increment(a word, k int) (word, *netlist.SeqNode) {
+	out := make(word, len(a))
+	var carry *netlist.SeqNode
+	for i := range a {
+		bit := k >> i & 1
+		switch {
+		case bit == 0 && carry == nil:
+			out[i] = w.buf(a[i])
+		case bit == 1 && carry == nil:
+			out[i] = w.not(a[i])
+			carry = w.buf(a[i])
+		case bit == 0:
+			out[i] = w.xor(a[i], carry)
+			carry = w.and(a[i], carry)
+		default:
+			out[i] = w.xor(w.not(a[i]), carry)
+			carry = w.or(a[i], carry)
+		}
+	}
+	return out, carry
+}
+
+// muxWord selects b when s else a, bitwise.
+func (w *wordBuilder) muxWord(a, b word, s *netlist.SeqNode) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = w.mux(a[i], b[i], s)
+	}
+	return out
+}
+
+// xorWordBit xors every bit with a single control (subtract inversion).
+func (w *wordBuilder) xorWordBit(a word, s *netlist.SeqNode) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = w.xor(a[i], s)
+	}
+	return out
+}
+
+func (w *wordBuilder) andWord(a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = w.and(a[i], b[i])
+	}
+	return out
+}
+
+func (w *wordBuilder) orWord(a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = w.or(a[i], b[i])
+	}
+	return out
+}
+
+func (w *wordBuilder) xorWord(a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = w.xor(a[i], b[i])
+	}
+	return out
+}
+
+// zeroExtend places bit into position 0 padded by constant zeros built
+// from self-masking pairs.
+func (w *wordBuilder) zeroExtend(bit *netlist.SeqNode, width int) word {
+	out := make(word, width)
+	out[0] = bit
+	for i := 1; i < width; i++ {
+		out[i] = w.gnd()
+	}
+	return out
+}
+
+// muxTree reduces 2^k lanes with a k-bit select.
+func (w *wordBuilder) muxTree(lanes word, sel word) *netlist.SeqNode {
+	cur := lanes
+	for level := 0; level < len(sel); level++ {
+		next := make(word, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, w.mux(cur[i], cur[i+1], sel[level]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// orTree reduces a word to a single OR.
+func (w *wordBuilder) orTree(bits word) *netlist.SeqNode {
+	cur := bits
+	for len(cur) > 1 {
+		next := make(word, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, w.or(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// decoder5 produces the 32 one-hot lines of a 5-bit select.
+func (w *wordBuilder) decoder5(sel word) word {
+	inv := make(word, len(sel))
+	for i, s := range sel {
+		inv[i] = w.not(s)
+	}
+	out := make(word, 32)
+	for v := 0; v < 32; v++ {
+		var acc *netlist.SeqNode
+		for bit := 0; bit < 5; bit++ {
+			lit := sel[bit]
+			if v>>bit&1 == 0 {
+				lit = inv[bit]
+			}
+			if acc == nil {
+				acc = lit
+			} else {
+				acc = w.and(acc, lit)
+			}
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+// barrelShift shifts a by shamt, left when dir is false, right when true,
+// through five mux stages.
+func (w *wordBuilder) barrelShift(a word, shamt word, dir *netlist.SeqNode) word {
+	left := a
+	right := a
+	for level := 0; level < len(shamt); level++ {
+		k := 1 << level
+		ls := make(word, len(a))
+		rs := make(word, len(a))
+		for i := range a {
+			if i-k >= 0 {
+				ls[i] = w.mux(left[i], left[i-k], shamt[level])
+			} else {
+				ls[i] = w.mux(left[i], w.gnd(), shamt[level])
+			}
+			if i+k < len(a) {
+				rs[i] = w.mux(right[i], right[i+k], shamt[level])
+			} else {
+				rs[i] = w.mux(right[i], w.gnd(), shamt[level])
+			}
+		}
+		left, right = ls, rs
+	}
+	return w.muxWord(left, right, dir)
+}
+
+// arrayMultiplyCSA builds an n×n carry-save array multiplier: each
+// partial product row is folded into redundant sum/carry vectors with a
+// 3:2 compressor per bit (constant depth per row). The caller resolves
+// the redundant pair with an adder — registered in between, the way the
+// Plasma core pipelines its multicycle mult block.
+func (w *wordBuilder) arrayMultiplyCSA(a, b word) (word, word) {
+	n := len(a)
+	width := 2 * n
+	sum := make(word, width)
+	carry := make(word, width)
+	for i := range sum {
+		sum[i], carry[i] = w.gnd(), w.gnd()
+	}
+	for i := 0; i < n; i++ {
+		next := make(word, width)
+		ncarry := make(word, width)
+		ncarry[0] = w.gnd()
+		for k := 0; k < width; k++ {
+			pp := w.gnd()
+			if k >= i && k-i < n {
+				pp = w.and(a[k-i], b[i])
+			}
+			axb := w.xor(sum[k], pp)
+			next[k] = w.xor(axb, carry[k])
+			cout := w.or(w.and(sum[k], pp), w.and(carry[k], axb))
+			if k+1 < width {
+				ncarry[k+1] = cout
+			}
+		}
+		sum, carry = next, ncarry
+	}
+	return sum, carry
+}

@@ -1,0 +1,111 @@
+// Package bench generates the benchmark circuits of the paper's
+// evaluation: deterministic synthetic stand-ins for the ISCAS89 suite
+// (profiles matching Table I), a gate-level 3-stage MIPS-like CPU
+// standing in for Plasma, and random clouds for property tests. Real
+// netlists can be substituted through the verilog package when available;
+// the generators keep every experiment self-contained and offline.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// RandomSpec shapes a random cut cloud.
+type RandomSpec struct {
+	Inputs  int
+	Outputs int
+	Gates   int
+	// Locality biases fanin selection toward recent nodes, deepening
+	// the logic; 0 picks uniformly (shallow), larger values deepen.
+	Locality int
+}
+
+// randomFuncs lists the functions the generator draws from, weighted
+// toward the 1- and 2-input cells that dominate real netlists.
+var randomFuncs = []cell.Function{
+	cell.FuncInv, cell.FuncInv, cell.FuncBuf,
+	cell.FuncNand2, cell.FuncNand2, cell.FuncNor2, cell.FuncAnd2,
+	cell.FuncOr2, cell.FuncXor2, cell.FuncXnor2,
+	cell.FuncNand3, cell.FuncNor3, cell.FuncAoi21, cell.FuncOai21,
+	cell.FuncMux2, cell.FuncNand4,
+}
+
+// RandomCloud builds a random DAG cloud with the given shape. The same
+// seed always yields the same circuit.
+func RandomCloud(name string, lib *cell.Library, rng *rand.Rand, spec RandomSpec) (*netlist.Circuit, error) {
+	if spec.Inputs < 1 || spec.Outputs < 1 || spec.Gates < 1 {
+		return nil, fmt.Errorf("bench: spec needs at least one input, output and gate")
+	}
+	b := netlist.NewBuilder(name, lib)
+	var pool []*netlist.Node
+	flop := 0
+	for i := 0; i < spec.Inputs; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i), flop))
+		flop++
+	}
+	pick := func() *netlist.Node {
+		if spec.Locality <= 0 || len(pool) <= spec.Locality {
+			return pool[rng.Intn(len(pool))]
+		}
+		// Prefer the tail of the pool to stretch paths.
+		if rng.Intn(3) > 0 {
+			return pool[len(pool)-1-rng.Intn(spec.Locality)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for i := 0; i < spec.Gates; i++ {
+		f := randomFuncs[rng.Intn(len(randomFuncs))]
+		drive := []int{1, 1, 2, 4}[rng.Intn(4)]
+		fanin := make([]*netlist.Node, f.Arity())
+		for p := range fanin {
+			fanin[p] = pick()
+		}
+		g := b.Gate(fmt.Sprintf("%s_g%d", name, i), lib.MustCell(f, drive), fanin...)
+		pool = append(pool, g)
+	}
+	// Outputs prefer late gates so the cloud has sinks at full depth.
+	for i := 0; i < spec.Outputs; i++ {
+		var drv *netlist.Node
+		for tries := 0; ; tries++ {
+			drv = pool[len(pool)-1-rng.Intn(min(len(pool), spec.Gates))]
+			if drv.Kind == netlist.KindGate || tries > 8 {
+				break
+			}
+		}
+		b.Output(fmt.Sprintf("o%d", i), flop, drv)
+		flop++
+	}
+	return b.Build()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SchemeFor derives a two-phase clocking for a circuit: the paper's
+// symmetric scheme with the stage delay budget P set a little above the
+// worst path arrival so the design meets P = Π + φ1 with margin for the
+// slave latch insertion delays.
+func SchemeFor(c *netlist.Circuit, opt sta.Options) clocking.Scheme {
+	t := sta.Analyze(c, opt)
+	worst := 0.0
+	for _, o := range c.Outputs {
+		if a := t.Arrival(o); a > worst {
+			worst = a
+		}
+	}
+	if worst <= 0 {
+		worst = 1
+	}
+	margin := 1.12*worst + 6*(c.Lib.BaseLatch.DToQ+c.Lib.BaseLatch.ClkToQ)
+	return clocking.Symmetric(margin)
+}

@@ -1,0 +1,143 @@
+// Package clocking models the symmetric two-phase clock scheme of a
+// latch-based resilient circuit (Section II-A of the paper):
+//
+//	Π = ⟨φ1, γ1, φ2, γ2⟩
+//
+// where φi is the transparent window of phase i and γi the gap from the
+// falling edge of phase i to the rising edge of phase i+1. Master latches
+// are clocked by phase 1 and may be error-detecting; slave latches are
+// clocked by phase 2 and time-borrow. The timing resiliency window equals
+// φ1: data arriving at a master inside (Π, Π+φ1] is caught by the EDL and
+// the next stage's clock is delayed by φ1.
+package clocking
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scheme is one two-phase clock configuration. All durations share a unit
+// (nanoseconds throughout this repository).
+type Scheme struct {
+	Phi1   float64 // transparent window of phase 1 (= resiliency window)
+	Gamma1 float64 // gap from phase-1 fall to phase-2 rise
+	Phi2   float64 // transparent window of phase 2
+	Gamma2 float64 // gap from phase-2 fall to the next phase-1 rise
+}
+
+// Symmetric builds the clocking used for all experiments in the paper
+// (Section VI-A): given the maximum stage delay P, the resiliency window
+// φ1 = 0.3P, γ1 = 0, φ2 = 0.35P, γ2 = 0.05P, so Π = 0.7P and Π + φ1 = P.
+func Symmetric(maxStageDelay float64) Scheme {
+	p := maxStageDelay
+	return Scheme{
+		Phi1:   0.30 * p,
+		Gamma1: 0,
+		Phi2:   0.35 * p,
+		Gamma2: 0.05 * p,
+	}
+}
+
+// Period Π is the clock period: φ1 + γ1 + φ2 + γ2.
+func (s Scheme) Period() float64 {
+	return s.Phi1 + s.Gamma1 + s.Phi2 + s.Gamma2
+}
+
+// MaxStageDelay is the maximum legal combinational delay P between master
+// stages, Π + φ1: a stage may overrun the period by the resiliency window
+// at the cost of an error-detection event.
+func (s Scheme) MaxStageDelay() float64 {
+	return s.Period() + s.Phi1
+}
+
+// ResiliencyWindow returns the width φ1 of the timing resiliency window.
+func (s Scheme) ResiliencyWindow() float64 { return s.Phi1 }
+
+// SlaveOpen is the time, relative to a master launch at t=0, at which the
+// slave latches of the stage become transparent: φ1 + γ1.
+func (s Scheme) SlaveOpen() float64 { return s.Phi1 + s.Gamma1 }
+
+// SlaveClose is the time at which the slave latches close:
+// φ1 + γ1 + φ2. Data must stabilize through a slave before this —
+// constraint (6): D^f(v) ≤ φ1 + γ1 + φ2 for a slave placed at gate v.
+func (s Scheme) SlaveClose() float64 { return s.Phi1 + s.Gamma1 + s.Phi2 }
+
+// ForwardLimit is the slave time-borrowing bound of constraint (6),
+// an alias of SlaveClose kept for readability at call sites.
+func (s Scheme) ForwardLimit() float64 { return s.SlaveClose() }
+
+// BackwardLimit is the bound of constraint (7): a slave at gate v needs
+// D^b(v,t) ≤ φ2 + γ2 + φ1 for every terminating master t, so data
+// launched at the slave opening still reaches t before its own close.
+func (s Scheme) BackwardLimit() float64 { return s.Phi2 + s.Gamma2 + s.Phi1 }
+
+// WindowContains reports whether an arrival time at a master latch falls
+// inside the timing resiliency window (Π, Π+φ1], forcing error detection.
+func (s Scheme) WindowContains(arrival float64) bool {
+	return arrival > s.Period() && arrival <= s.MaxStageDelay()
+}
+
+// Validate checks the scheme is physically meaningful.
+func (s Scheme) Validate() error {
+	switch {
+	case s.Phi1 <= 0:
+		return fmt.Errorf("clocking: φ1 must be positive, got %g", s.Phi1)
+	case s.Phi2 <= 0:
+		return fmt.Errorf("clocking: φ2 must be positive, got %g", s.Phi2)
+	case s.Gamma1 < 0:
+		return fmt.Errorf("clocking: γ1 must be non-negative, got %g", s.Gamma1)
+	case s.Gamma2 < 0:
+		return fmt.Errorf("clocking: γ2 must be non-negative, got %g", s.Gamma2)
+	}
+	return nil
+}
+
+// String renders the scheme in the paper's Π = ⟨φ1,γ1,φ2,γ2⟩ notation.
+func (s Scheme) String() string {
+	return fmt.Sprintf("Pi=<%g,%g,%g,%g> (period %g, max stage delay %g)",
+		s.Phi1, s.Gamma1, s.Phi2, s.Gamma2, s.Period(), s.MaxStageDelay())
+}
+
+// Waveform renders an ASCII reproduction of Fig. 1: the two clock phases
+// over one period plus the resiliency window of the following cycle.
+// width is the number of character columns per period.
+func (s Scheme) Waveform(width int) string {
+	if width < 16 {
+		width = 16
+	}
+	total := s.Period() + s.Phi1 // show the trailing resiliency window
+	cols := int(float64(width) * total / s.Period())
+	col := func(t float64) int {
+		c := int(t / total * float64(cols))
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	p1 := make([]byte, cols)
+	p2 := make([]byte, cols)
+	win := make([]byte, cols)
+	for i := range p1 {
+		p1[i], p2[i], win[i] = '_', '_', ' '
+	}
+	// Phase 1 high during [0, φ1) and again at [Π, Π+φ1).
+	for i := col(0); i < col(s.Phi1); i++ {
+		p1[i] = '^'
+	}
+	for i := col(s.Period()); i < cols; i++ {
+		p1[i] = '^'
+	}
+	// Phase 2 high during [φ1+γ1, φ1+γ1+φ2).
+	for i := col(s.SlaveOpen()); i < col(s.SlaveClose()); i++ {
+		p2[i] = '^'
+	}
+	// Resiliency window of the next master stage: (Π, Π+φ1].
+	for i := col(s.Period()); i < cols; i++ {
+		win[i] = '~'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "phi1: %s\n", p1)
+	fmt.Fprintf(&b, "phi2: %s\n", p2)
+	fmt.Fprintf(&b, "TRW : %s\n", win)
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package clocking
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSymmetricMatchesPaperRatios(t *testing.T) {
+	// Section VI-A: φ1 = 0.3P, γ1 = 0, φ2 = 0.35P, γ2 = 0.05P,
+	// so Π = 0.7P and Π + φ1 = P.
+	const p = 2.0
+	s := Symmetric(p)
+	if !almost(s.Phi1, 0.6) || !almost(s.Gamma1, 0) || !almost(s.Phi2, 0.7) || !almost(s.Gamma2, 0.1) {
+		t.Fatalf("Symmetric(%g) = %+v", p, s)
+	}
+	if !almost(s.Period(), 0.7*p) {
+		t.Errorf("Period = %g, want %g", s.Period(), 0.7*p)
+	}
+	if !almost(s.MaxStageDelay(), p) {
+		t.Errorf("MaxStageDelay = %g, want %g", s.MaxStageDelay(), p)
+	}
+}
+
+func TestFig4SchemeConstants(t *testing.T) {
+	// The worked example of Fig. 4 uses φ1=γ1=φ2=γ2=2.5.
+	s := Scheme{Phi1: 2.5, Gamma1: 2.5, Phi2: 2.5, Gamma2: 2.5}
+	if !almost(s.Period(), 10) {
+		t.Errorf("Π = %g, want 10", s.Period())
+	}
+	if !almost(s.ForwardLimit(), 7.5) {
+		t.Errorf("forward limit φ1+γ1+φ2 = %g, want 7.5", s.ForwardLimit())
+	}
+	if !almost(s.BackwardLimit(), 7.5) {
+		t.Errorf("backward limit φ2+γ2+φ1 = %g, want 7.5", s.BackwardLimit())
+	}
+	if !almost(s.SlaveOpen(), 5) {
+		t.Errorf("slave open φ1+γ1 = %g, want 5", s.SlaveOpen())
+	}
+	if !almost(s.MaxStageDelay(), 12.5) {
+		t.Errorf("Π+φ1 = %g, want 12.5", s.MaxStageDelay())
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	s := Symmetric(1.0) // Π = 0.7, window (0.7, 1.0]
+	cases := []struct {
+		arrival float64
+		want    bool
+	}{
+		{0.0, false}, {0.5, false}, {0.7, false},
+		{0.700001, true}, {0.9, true}, {1.0, true},
+		{1.000001, false},
+	}
+	for _, c := range cases {
+		if got := s.WindowContains(c.arrival); got != c.want {
+			t.Errorf("WindowContains(%g) = %v, want %v", c.arrival, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Symmetric(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	bad := []Scheme{
+		{Phi1: 0, Phi2: 1},
+		{Phi1: 1, Phi2: 0},
+		{Phi1: 1, Phi2: 1, Gamma1: -0.1},
+		{Phi1: 1, Phi2: 1, Gamma2: -0.1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid scheme accepted: %+v", s)
+		}
+	}
+}
+
+func TestSchemeIdentities(t *testing.T) {
+	// Property: the derived quantities satisfy their defining identities
+	// for any positive scheme.
+	err := quick.Check(func(a, b, c, d uint16) bool {
+		s := Scheme{
+			Phi1:   0.1 + float64(a)/100,
+			Gamma1: float64(b) / 100,
+			Phi2:   0.1 + float64(c)/100,
+			Gamma2: float64(d) / 100,
+		}
+		return almost(s.Period(), s.Phi1+s.Gamma1+s.Phi2+s.Gamma2) &&
+			almost(s.MaxStageDelay(), s.Period()+s.Phi1) &&
+			almost(s.SlaveClose(), s.SlaveOpen()+s.Phi2) &&
+			almost(s.BackwardLimit(), s.Phi2+s.Gamma2+s.Phi1) &&
+			almost(s.ForwardLimit(), s.SlaveClose())
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaveform(t *testing.T) {
+	s := Symmetric(1.0)
+	w := s.Waveform(40)
+	lines := strings.Split(strings.TrimRight(w, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("waveform has %d lines, want 3:\n%s", len(lines), w)
+	}
+	if !strings.HasPrefix(lines[0], "phi1:") || !strings.HasPrefix(lines[1], "phi2:") || !strings.HasPrefix(lines[2], "TRW :") {
+		t.Fatalf("unexpected waveform labels:\n%s", w)
+	}
+	// Phase 1 must be high at the start and during the trailing window.
+	body := lines[0][6:]
+	if body[0] != '^' {
+		t.Errorf("phi1 must open the cycle high:\n%s", w)
+	}
+	if body[len(body)-1] != '^' {
+		t.Errorf("phi1 must be high during the trailing resiliency window:\n%s", w)
+	}
+	// The two phases must never be high simultaneously.
+	p1, p2 := lines[0][6:], lines[1][6:]
+	for i := range p1 {
+		if p1[i] == '^' && p2[i] == '^' {
+			t.Fatalf("overlapping phases at column %d:\n%s", i, w)
+		}
+	}
+}
+
+func TestWaveformMinWidth(t *testing.T) {
+	s := Symmetric(1.0)
+	if w := s.Waveform(1); !strings.Contains(w, "phi1") {
+		t.Error("tiny width should still render")
+	}
+}

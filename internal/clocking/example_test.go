@@ -1,0 +1,41 @@
+package clocking_test
+
+import (
+	"fmt"
+
+	"relatch/internal/clocking"
+)
+
+// The worked example of the paper's Fig. 4 uses φ1=γ1=φ2=γ2=2.5: a
+// period of 10 with a 2.5 resiliency window.
+func ExampleScheme() {
+	s := clocking.Scheme{Phi1: 2.5, Gamma1: 2.5, Phi2: 2.5, Gamma2: 2.5}
+	fmt.Println(s.Period(), s.MaxStageDelay(), s.ResiliencyWindow())
+	fmt.Println(s.SlaveOpen(), s.SlaveClose(), s.BackwardLimit())
+	// Output:
+	// 10 12.5 2.5
+	// 5 7.5 7.5
+}
+
+// Symmetric derives the evaluation clocking of Section VI-A from a stage
+// budget P: φ1 = 0.3P, γ1 = 0, φ2 = 0.35P, γ2 = 0.05P.
+func ExampleSymmetric() {
+	s := clocking.Symmetric(1.0)
+	fmt.Printf("Pi=%.2f window=%.2f stage budget=%.2f\n",
+		s.Period(), s.ResiliencyWindow(), s.MaxStageDelay())
+	// Output:
+	// Pi=0.70 window=0.30 stage budget=1.00
+}
+
+// WindowContains tells whether an arrival at a master latch falls inside
+// the timing resiliency window (Π, Π+φ1], forcing error detection.
+func ExampleScheme_WindowContains() {
+	s := clocking.Symmetric(1.0)
+	for _, arrival := range []float64{0.65, 0.75, 1.05} {
+		fmt.Println(arrival, s.WindowContains(arrival))
+	}
+	// Output:
+	// 0.65 false
+	// 0.75 true
+	// 1.05 false
+}

@@ -1,0 +1,213 @@
+// Package core ties the retiming system together: it runs static timing,
+// builds the resiliency-aware retiming graph, solves it through the
+// min-cost-flow layer, applies the resulting slave-latch placement, and
+// settles each master latch's error-detecting status against ground-truth
+// latch-aware timing. It exposes the two algorithmic approaches the paper
+// compares throughout Section VI:
+//
+//   - G-RAR (ApproachGRAR): the paper's graph-based resilient-aware
+//     retiming, minimizing slave-latch count plus c per error-detecting
+//     master in one exact solve;
+//   - Base (ApproachBase): traditional resiliency-unaware min-area
+//     retiming, with error detection assigned afterwards by timing — the
+//     commercial-flow baseline.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/rgraph"
+	"relatch/internal/sta"
+)
+
+// Approach selects the retiming algorithm.
+type Approach int
+
+const (
+	// ApproachGRAR is the paper's graph-based resilient-aware retiming.
+	ApproachGRAR Approach = iota
+	// ApproachBase is traditional min-area retiming, resiliency-unaware.
+	ApproachBase
+)
+
+func (a Approach) String() string {
+	if a == ApproachBase {
+		return "base"
+	}
+	return "g-rar"
+}
+
+// Options configures a retiming run.
+type Options struct {
+	// Scheme is the two-phase clocking; zero value is rejected.
+	Scheme clocking.Scheme
+	// EDLCost is the error-detecting overhead factor c (0.5–2 in the
+	// paper's sweeps).
+	EDLCost float64
+	// TimingModel drives the *optimization* timing (Table II compares
+	// sta.ModelGate against sta.ModelPath). Evaluation of the final
+	// design always uses the path-based model.
+	TimingModel sta.Model
+	// FixedDelays supplies per-node delays when TimingModel is
+	// sta.ModelFixed (used by the worked example and tests).
+	FixedDelays map[int]float64
+	// Method selects the flow solver (network simplex by default).
+	Method flow.Method
+	// StaOverride, when non-nil, fully replaces the derived sta options.
+	StaOverride *sta.Options
+}
+
+// Result is a completed retiming with its ground-truth evaluation.
+type Result struct {
+	Circuit   *netlist.Circuit
+	Approach  Approach
+	Options   Options
+	Placement *netlist.Placement
+
+	// EDMasters holds the output node IDs whose masters must be
+	// error-detecting, settled by latch-aware path timing.
+	EDMasters map[int]bool
+
+	SlaveCount  int
+	MasterCount int
+	EDCount     int
+
+	// SeqArea = latch area · (slaves + masters) + c · latch area · ED.
+	SeqArea float64
+	// TotalArea adds the combinational gate area.
+	TotalArea float64
+
+	// Objective is the solver's internal objective (latch units,
+	// relative); areas above are the authoritative measurements.
+	Objective float64
+	// Classes counts endpoints per rgraph classification.
+	Classes map[rgraph.TargetClass]int
+	// Violations lists any residual latch timing violations under the
+	// evaluation model (empty when the optimization model is at least
+	// as pessimistic as the evaluation model).
+	Violations []sta.Violation
+
+	Runtime time.Duration
+}
+
+// staOptions derives the optimization timing options.
+func staOptions(c *netlist.Circuit, opt Options) sta.Options {
+	if opt.StaOverride != nil {
+		return *opt.StaOverride
+	}
+	switch opt.TimingModel {
+	case sta.ModelGate:
+		return sta.GateOptions(c.Lib)
+	case sta.ModelFixed:
+		o := sta.DefaultOptions(c.Lib)
+		o.Model = sta.ModelFixed
+		o.FixedDelays = opt.FixedDelays
+		o.LaunchDelay = 0
+		return o
+	default:
+		return sta.DefaultOptions(c.Lib)
+	}
+}
+
+// evalOptions derives the evaluation (sign-off) timing options: the
+// path-based model, or the fixed model when the caller supplied explicit
+// delays (there is no truer model for those circuits).
+func evalOptions(c *netlist.Circuit, opt Options) sta.Options {
+	if opt.TimingModel == sta.ModelFixed {
+		return staOptions(c, opt)
+	}
+	return sta.DefaultOptions(c.Lib)
+}
+
+// slaveLatch returns the latch cell used for slave timing in Eq. (5).
+func slaveLatch(c *netlist.Circuit, opt Options) cell.Latch {
+	if opt.TimingModel == sta.ModelFixed {
+		// The worked example idealizes latch delays to zero.
+		return cell.Latch{Name: "IDEAL", Area: c.Lib.BaseLatch.Area}
+	}
+	return c.Lib.BaseLatch
+}
+
+// Retime runs the selected approach on the circuit.
+func Retime(c *netlist.Circuit, opt Options, approach Approach) (*Result, error) {
+	start := time.Now()
+	if err := opt.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	optTiming := sta.Analyze(c, staOptions(c, opt))
+	latch := slaveLatch(c, opt)
+	cfg := rgraph.Config{
+		Scheme:         opt.Scheme,
+		Latch:          latch,
+		EDLCost:        opt.EDLCost,
+		ResilientAware: approach == ApproachGRAR,
+		// Base models the commercial tool's minimum-perturbation
+		// behavior (see rgraph.Config.MovementPrimary).
+		MovementPrimary: approach == ApproachBase,
+	}
+	g, err := rgraph.Build(c, optTiming, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	sol, err := g.Solve(opt.Method)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	res := evaluate(c, opt, approach, sol.Placement, latch)
+	res.Objective = sol.Objective
+	res.Classes = make(map[rgraph.TargetClass]int)
+	for _, cls := range g.Class {
+		res.Classes[cls]++
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// evaluate settles ED status and areas for a placement under the
+// evaluation timing model.
+func evaluate(c *netlist.Circuit, opt Options, approach Approach, p *netlist.Placement, latch cell.Latch) *Result {
+	evalTiming := sta.Analyze(c, evalOptions(c, opt))
+	la := sta.AnalyzeLatched(evalTiming, p, opt.Scheme, latch)
+	ed := la.EDMasters()
+
+	res := &Result{
+		Circuit:     c,
+		Approach:    approach,
+		Options:     opt,
+		Placement:   p,
+		EDMasters:   ed,
+		SlaveCount:  p.SlaveCount(),
+		MasterCount: c.FlopCount(),
+		EDCount:     len(ed),
+		Violations:  la.Violations(),
+	}
+	aLatch := c.Lib.BaseLatch.Area
+	res.SeqArea = aLatch*float64(res.SlaveCount+res.MasterCount) +
+		opt.EDLCost*aLatch*float64(res.EDCount)
+	res.TotalArea = res.SeqArea + c.CombArea()
+	return res
+}
+
+// Evaluate scores an externally produced placement (used by the virtual
+// library flows and by tests) with the same accounting as Retime.
+func Evaluate(c *netlist.Circuit, opt Options, p *netlist.Placement) (*Result, error) {
+	if err := opt.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(c); err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+	return evaluate(c, opt, Approach(-1), p, slaveLatch(c, opt)), nil
+}
+
+// SeqAreaOf recomputes the sequential-area formula for explicit counts;
+// exported so reports and tests share one definition.
+func SeqAreaOf(lib *cell.Library, edlCost float64, slaves, masters, ed int) float64 {
+	a := lib.BaseLatch.Area
+	return a*float64(slaves+masters) + edlCost*a*float64(ed)
+}

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"relatch/internal/core"
+	"relatch/internal/fig4"
+	"relatch/internal/sta"
+)
+
+// Retiming the paper's worked example (Fig. 4): base retiming finds the
+// 2-latch cut and leaves O9 error-detecting (the paper's Cut1, 5 cost
+// units); G-RAR pays one more slave latch to clear the error detection
+// (Cut2, 4 units).
+func ExampleRetime() {
+	c := fig4.MustCircuit()
+	opt := core.Options{
+		Scheme:      fig4.Scheme(),
+		EDLCost:     fig4.EDLOverhead,
+		TimingModel: sta.ModelFixed,
+		FixedDelays: fig4.FixedDelays(c),
+	}
+	for _, approach := range []core.Approach{core.ApproachBase, core.ApproachGRAR} {
+		res, err := core.Retime(c, opt, approach)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d slaves, %d error-detecting\n", approach, res.SlaveCount, res.EDCount)
+	}
+	// Output:
+	// base: 2 slaves, 1 error-detecting
+	// g-rar: 3 slaves, 0 error-detecting
+}

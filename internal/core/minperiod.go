@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"relatch/internal/clocking"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// MinPeriodResult is the outcome of a minimum-period search.
+type MinPeriodResult struct {
+	// P is the smallest feasible stage-delay budget found; Scheme is the
+	// symmetric two-phase clocking derived from it (period Π = 0.7·P).
+	P      float64
+	Scheme clocking.Scheme
+	// Result is the retiming at that budget.
+	Result *Result
+	// Iterations counts the binary-search probes.
+	Iterations int
+}
+
+// MinPeriod finds, by binary search, the smallest stage-delay budget P
+// for which the two-phase design has a legal slave-latch retiming under
+// the paper's symmetric clocking, and returns the retiming at that
+// budget. This is the period-minimization counterpart (Section II-C
+// cites [21], [22]) to the min-area objective the rest of the package
+// optimizes: area-driven flows run at a fixed clock, but the machinery —
+// regions, per-edge legality, the flow solve — doubles as an exact
+// feasibility oracle over P.
+//
+// edlCost and approach choose the objective used at each probe (the
+// feasibility frontier is identical for both approaches; the returned
+// placement differs). tol is the relative termination tolerance (0 picks
+// 1%).
+func MinPeriod(c *netlist.Circuit, edlCost float64, approach Approach, tol float64) (*MinPeriodResult, error) {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	tm := sta.Analyze(c, sta.DefaultOptions(c.Lib))
+	worst := 0.0
+	for _, o := range c.Outputs {
+		if a := tm.Arrival(o); a > worst {
+			worst = a
+		}
+	}
+	if worst <= 0 {
+		return nil, fmt.Errorf("core: circuit has no combinational delay")
+	}
+
+	solveAt := func(p float64) (*Result, error) {
+		opt := Options{Scheme: clocking.Symmetric(p), EDLCost: edlCost}
+		return Retime(c, opt, approach)
+	}
+
+	// The pure combinational delay lower-bounds P; search upward for a
+	// feasible ceiling first (single very deep gates can push the
+	// frontier beyond the usual ~1.1×worst).
+	lo, hi := worst, 1.5*worst
+	res, err := solveAt(hi)
+	iters := 1
+	for ; err != nil && iters < 10; iters++ {
+		hi *= 1.5
+		res, err = solveAt(hi)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: no feasible period up to %.4g: %w", hi, err)
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		r, err := solveAt(mid)
+		iters++
+		if err != nil {
+			lo = mid
+			continue
+		}
+		hi = mid
+		res = r
+	}
+	return &MinPeriodResult{
+		P:          hi,
+		Scheme:     clocking.Symmetric(hi),
+		Result:     res,
+		Iterations: iters,
+	}, nil
+}

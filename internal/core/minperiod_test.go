@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+func TestMinPeriodChain(t *testing.T) {
+	lib := cell.Default(1.0)
+	b := netlist.NewBuilder("chain", lib)
+	in := b.Input("i", 0)
+	cur := in
+	for k := 0; k < 10; k++ {
+		cur = b.Gate(nameK("g", k), lib.MustCell(cell.FuncBuf, 1), cur)
+	}
+	b.Output("o", 1, cur)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sta.Analyze(c, sta.DefaultOptions(lib))
+	worst := tm.Arrival(c.Outputs[0])
+
+	mp, err := MinPeriod(c, 1.0, ApproachGRAR, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stage budget cannot beat the combinational delay, and a chain
+	// with ten split points should close within ~15% of it (one latch
+	// D-to-Q plus split granularity).
+	if mp.P < worst {
+		t.Errorf("min period %g below the combinational bound %g", mp.P, worst)
+	}
+	if mp.P > 1.15*worst {
+		t.Errorf("min period %g more than 15%% above the bound %g", mp.P, worst)
+	}
+	if mp.Result == nil || mp.Result.Placement.SlaveCount() == 0 {
+		t.Fatal("missing retiming at the minimum period")
+	}
+	if err := mp.Result.Placement.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Result.Violations) != 0 {
+		t.Errorf("violations at the found period: %v", mp.Result.Violations)
+	}
+	if mp.Iterations < 3 {
+		t.Errorf("suspiciously few probes: %d", mp.Iterations)
+	}
+}
+
+func TestMinPeriodOnBenchmark(t *testing.T) {
+	lib := cell.Default(1.0)
+	prof, _ := bench.ProfileByName("s1238")
+	c, scheme, err := prof.Build(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MinPeriod(c, 1.0, ApproachBase, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated experiment budget is feasible by construction, so
+	// the minimum must not exceed it.
+	if mp.P > scheme.MaxStageDelay()+1e-9 {
+		t.Errorf("min period %g exceeds the calibrated budget %g", mp.P, scheme.MaxStageDelay())
+	}
+}

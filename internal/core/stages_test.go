@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// multiComponent builds a circuit whose cloud splits into independent
+// stages: two disjoint cones plus one genuinely shared pair.
+func multiComponent(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	lib := cell.Default(1.0)
+	b := netlist.NewBuilder("stages", lib)
+	// Component 1: a deep chain.
+	i1 := b.Input("i1", 0)
+	cur := i1
+	for k := 0; k < 6; k++ {
+		cur = b.Gate(nameK("a", k), lib.MustCell(cell.FuncBuf, 1), cur)
+	}
+	b.Output("o1", 1, cur)
+	// Component 2: two inputs sharing logic into two outputs.
+	i2 := b.Input("i2", 2)
+	i3 := b.Input("i3", 3)
+	g := b.Gate("b0", lib.MustCell(cell.FuncNand2, 1), i2, i3)
+	h1 := b.Gate("b1", lib.MustCell(cell.FuncInv, 1), g)
+	h2 := b.Gate("b2", lib.MustCell(cell.FuncXor2, 1), g, i3)
+	b.Output("o2", 4, h1)
+	b.Output("o3", 5, h2)
+	// Component 3: a trivial wire stage.
+	i4 := b.Input("i4", 6)
+	w := b.Gate("c0", lib.MustCell(cell.FuncInv, 1), i4)
+	b.Output("o4", 7, w)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func nameK(p string, k int) string { return p + string(rune('0'+k)) }
+
+func TestComponents(t *testing.T) {
+	c := multiComponent(t)
+	comps := Components(c)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	total := 0
+	for _, ids := range comps {
+		total += len(ids)
+	}
+	if total != len(c.Nodes) {
+		t.Errorf("components cover %d of %d nodes", total, len(c.Nodes))
+	}
+}
+
+// TestComponentSolveMatchesWholeCircuit: the paper's per-stage
+// independence claim — the decomposed solve reaches the same sequential
+// cost as the monolithic one.
+func TestComponentSolveMatchesWholeCircuit(t *testing.T) {
+	lib := cell.Default(1.0)
+	circuits := []*netlist.Circuit{multiComponent(t)}
+	for _, name := range []string{"s1196", "s1423"} {
+		p, _ := bench.ProfileByName(name)
+		c, _, err := p.Build(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, c)
+	}
+	for _, c := range circuits {
+		scheme := bench.SchemeFor(c, sta.DefaultOptions(c.Lib))
+		for _, approach := range []Approach{ApproachGRAR, ApproachBase} {
+			opt := Options{Scheme: scheme, EDLCost: 1}
+			whole, err := Retime(c, opt, approach)
+			if err != nil {
+				t.Fatalf("%s %v: %v", c.Name, approach, err)
+			}
+			split, err := RetimeByComponents(c, opt, approach)
+			if err != nil {
+				t.Fatalf("%s %v: %v", c.Name, approach, err)
+			}
+			if math.Abs(whole.SeqArea-split.SeqArea) > 1e-9 {
+				t.Errorf("%s %v: whole %.4f vs per-component %.4f sequential area",
+					c.Name, approach, whole.SeqArea, split.SeqArea)
+			}
+			if whole.EDCount != split.EDCount || whole.SlaveCount != split.SlaveCount {
+				t.Errorf("%s %v: counts differ: whole %d/%d vs split %d/%d (slaves/EDL)",
+					c.Name, approach, whole.SlaveCount, whole.EDCount, split.SlaveCount, split.EDCount)
+			}
+		}
+	}
+}
+
+func TestRetimeByComponentsRejectsFixedDelays(t *testing.T) {
+	c := multiComponent(t)
+	opt := Options{Scheme: bench.SchemeFor(c, sta.DefaultOptions(c.Lib)), EDLCost: 1,
+		FixedDelays: map[int]float64{0: 1}}
+	if _, err := RetimeByComponents(c, opt, ApproachGRAR); err == nil {
+		t.Error("fixed delays should be rejected")
+	}
+}

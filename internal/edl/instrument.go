@@ -1,0 +1,134 @@
+package edl
+
+import (
+	"fmt"
+	"sort"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// Instrument returns a copy of the flip-flop design with error-detection
+// circuitry attached to the named registers, materializing Fig. 2(a)'s
+// shadow-flip-flop detector structurally: each protected register gains a
+// shadow flip-flop sampling the same data net (in the real circuit it
+// samples at the resiliency-window opening; functionally it is a
+// delayed copy) and an XOR comparator, and the per-cluster error signals
+// are collected by balanced OR trees into error_<k> primary outputs —
+// the "smartly grouped clusters" of Section II-A. The TDTB variant of
+// Fig. 2(b) shares this structural skeleton (its C-element is a holding
+// stage like the shadow flop); only the area model in this package
+// distinguishes them.
+//
+// The result is a plain flip-flop netlist: it cuts, retimes, simulates
+// and writes to Verilog like any other design.
+func Instrument(sc *netlist.SeqCircuit, protect []string, clusterSize int) (*netlist.SeqCircuit, error) {
+	if clusterSize <= 0 {
+		clusterSize = 8
+	}
+	want := make(map[string]bool, len(protect))
+	for _, name := range protect {
+		want[name] = true
+	}
+
+	b := netlist.NewSeqBuilder(sc.Name+"_edl", sc.Lib)
+	mapped := make([]*netlist.SeqNode, len(sc.Nodes))
+
+	for _, pi := range sc.PIs {
+		mapped[pi.ID] = b.PI(pi.Name)
+	}
+	for _, ff := range sc.FFs {
+		mapped[ff.ID] = b.FF(ff.Name)
+	}
+	// Gates in dependency order (fanins are PIs, FFs or earlier gates).
+	remaining := make([]*netlist.SeqNode, 0, len(sc.Nodes))
+	for _, n := range sc.Nodes {
+		if n.Kind == netlist.SeqGate {
+			remaining = append(remaining, n)
+		}
+	}
+	for len(remaining) > 0 {
+		progress := false
+		next := remaining[:0]
+		for _, g := range remaining {
+			ready := true
+			for _, f := range g.Fanin {
+				if mapped[f.ID] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			fanin := make([]*netlist.SeqNode, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = mapped[f.ID]
+			}
+			mapped[g.ID] = b.Gate(g.Name, g.Cell, fanin...)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("edl: combinational cycle in %s", sc.Name)
+		}
+		remaining = append([]*netlist.SeqNode(nil), next...)
+	}
+	for _, ff := range sc.FFs {
+		b.SetD(mapped[ff.ID], mapped[ff.Fanin[0].ID])
+	}
+	for _, po := range sc.POs {
+		b.PO(po.Name, mapped[po.Fanin[0].ID])
+	}
+
+	// Detectors: shadow flop on the protected register's D net plus an
+	// XOR against the register output.
+	var protectedIDs []int
+	found := make(map[string]bool)
+	for _, ff := range sc.FFs {
+		if want[ff.Name] {
+			protectedIDs = append(protectedIDs, ff.ID)
+			found[ff.Name] = true
+		}
+	}
+	for _, name := range protect {
+		if !found[name] {
+			return nil, fmt.Errorf("edl: no flip-flop named %q", name)
+		}
+	}
+	sort.Ints(protectedIDs)
+	xorCell := sc.Lib.MustCell(cell.FuncXor2, 1)
+	orCell := sc.Lib.MustCell(cell.FuncOr2, 1)
+
+	var errSignals []*netlist.SeqNode
+	for _, id := range protectedIDs {
+		ff := sc.Nodes[id]
+		shadow := b.FF("shadow_" + ff.Name)
+		b.SetD(shadow, mapped[ff.Fanin[0].ID])
+		errSignals = append(errSignals,
+			b.Gate("err_"+ff.Name, xorCell, mapped[ff.ID], shadow))
+	}
+
+	// Cluster OR trees into error outputs.
+	clusters := BuildClusters(protectedIDs, clusterSize)
+	offset := 0
+	for k, cl := range clusters {
+		members := errSignals[offset : offset+len(cl.Members)]
+		offset += len(cl.Members)
+		cur := append([]*netlist.SeqNode(nil), members...)
+		level := 0
+		for len(cur) > 1 {
+			var nxt []*netlist.SeqNode
+			for i := 0; i+1 < len(cur); i += 2 {
+				nxt = append(nxt, b.Gate(fmt.Sprintf("ortree_%d_%d_%d", k, level, i/2), orCell, cur[i], cur[i+1]))
+			}
+			if len(cur)%2 == 1 {
+				nxt = append(nxt, cur[len(cur)-1])
+			}
+			cur = nxt
+			level++
+		}
+		b.PO(fmt.Sprintf("error_%d", k), cur[0])
+	}
+	return b.Build()
+}

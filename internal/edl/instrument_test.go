@@ -1,0 +1,135 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/verilog"
+)
+
+// smallSeq builds a 3-flop design to instrument.
+func smallSeq(t *testing.T) *netlist.SeqCircuit {
+	t.Helper()
+	lib := cell.Default(1.0)
+	b := netlist.NewSeqBuilder("dut", lib)
+	a := b.PI("a")
+	x := b.PI("x")
+	r1 := b.FF("r1")
+	r2 := b.FF("r2")
+	r3 := b.FF("r3")
+	g1 := b.Gate("g1", lib.MustCell(cell.FuncNand2, 1), a, r1)
+	g2 := b.Gate("g2", lib.MustCell(cell.FuncXor2, 1), g1, x)
+	g3 := b.Gate("g3", lib.MustCell(cell.FuncInv, 1), r2)
+	b.SetD(r1, g2)
+	b.SetD(r2, g1)
+	b.SetD(r3, g3)
+	b.PO("y", g3)
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestInstrumentStructure(t *testing.T) {
+	sc := smallSeq(t)
+	inst, err := Instrument(sc, []string{"r1", "r2"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two shadow flops appear on top of the original three.
+	if got := len(inst.FFs); got != 5 {
+		t.Errorf("FFs = %d, want 5", got)
+	}
+	// Two XOR comparators plus one OR (2-signal cluster tree).
+	if got := inst.GateCount(); got != sc.GateCount()+3 {
+		t.Errorf("gates = %d, want %d", got, sc.GateCount()+3)
+	}
+	// One cluster → one error output, plus the original PO.
+	if got := len(inst.POs); got != 2 {
+		t.Errorf("POs = %d, want 2", got)
+	}
+	if _, err := inst.Cut(); err != nil {
+		t.Fatalf("instrumented design does not cut: %v", err)
+	}
+	// Shadow flop samples the same D net as the protected register.
+	var shadow *netlist.SeqNode
+	for _, n := range inst.Nodes {
+		if n.Name == "shadow_r1" {
+			shadow = n
+		}
+	}
+	if shadow == nil {
+		t.Fatal("shadow_r1 missing")
+	}
+	if shadow.Fanin[0].Name != "g2" {
+		t.Errorf("shadow_r1 samples %q, want g2", shadow.Fanin[0].Name)
+	}
+}
+
+func TestInstrumentClustering(t *testing.T) {
+	lib := cell.Default(1.0)
+	b := netlist.NewSeqBuilder("many", lib)
+	pi := b.PI("a")
+	var names []string
+	for i := 0; i < 10; i++ {
+		ff := b.FF("f" + string(rune('0'+i)))
+		b.SetD(ff, b.Gate("g"+string(rune('0'+i)), lib.MustCell(cell.FuncInv, 1), pi))
+		names = append(names, ff.Name)
+	}
+	last, _ := b.Build()
+	inst, err := Instrument(last, names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 protected flops at cluster size 4 → 3 error outputs.
+	errPOs := 0
+	for _, po := range inst.POs {
+		if strings.HasPrefix(po.Name, "error_") {
+			errPOs++
+		}
+	}
+	if errPOs != 3 {
+		t.Errorf("error outputs = %d, want 3", errPOs)
+	}
+	// OR gates: (4-1)+(4-1)+(2-1) = 7.
+	orGates := 0
+	for _, n := range inst.Nodes {
+		if n.Kind == netlist.SeqGate && strings.HasPrefix(n.Name, "ortree_") {
+			orGates++
+		}
+	}
+	if orGates != 7 {
+		t.Errorf("OR tree gates = %d, want 7", orGates)
+	}
+}
+
+func TestInstrumentUnknownFlop(t *testing.T) {
+	sc := smallSeq(t)
+	if _, err := Instrument(sc, []string{"nope"}, 4); err == nil {
+		t.Error("unknown register accepted")
+	}
+}
+
+func TestInstrumentedDesignWritesVerilog(t *testing.T) {
+	sc := smallSeq(t)
+	inst, err := Instrument(sc, []string{"r1", "r3"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := verilog.Write(&sb, inst); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dff shadow_r1", "xor err_r1", "error_0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in emitted Verilog:\n%s", want, out)
+		}
+	}
+	if _, err := verilog.ParseString(out, sc.Lib); err != nil {
+		t.Fatalf("instrumented Verilog does not re-parse: %v", err)
+	}
+}

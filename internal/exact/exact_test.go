@@ -1,0 +1,98 @@
+package exact
+
+import (
+	"testing"
+
+	"relatch/internal/fig4"
+	"relatch/internal/rgraph"
+	"relatch/internal/sta"
+)
+
+func fig4Graph(t *testing.T, aware bool) *rgraph.Graph {
+	t.Helper()
+	c := fig4.MustCircuit()
+	tm := sta.Analyze(c, sta.Options{
+		Model:       sta.ModelFixed,
+		FixedDelays: fig4.FixedDelays(c),
+	})
+	g, err := rgraph.Build(c, tm, rgraph.Config{
+		Scheme:         fig4.Scheme(),
+		Latch:          fig4.ZeroLatch(),
+		EDLCost:        fig4.EDLOverhead,
+		ResilientAware: aware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSearchFindsCut2(t *testing.T) {
+	g := fig4Graph(t, true)
+	best, err := Search(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut2: 3 slaves + 0 error-detecting = cost 3 in the model (the
+	// target master's base latch is in neither side of the model cost).
+	if best.Cost != 3 {
+		t.Errorf("optimal model cost = %g, want 3", best.Cost)
+	}
+	// The paper's r-vector must be among the optima; verify its cost.
+	want := fig4.OptimalRetiming(g.C)
+	r := make(map[int]int)
+	for _, n := range g.C.Nodes {
+		r[n.ID] = want[n.ID]
+	}
+	if got := ModelCost(g, r); got != best.Cost {
+		t.Errorf("paper's retiming costs %g, oracle found %g", got, best.Cost)
+	}
+}
+
+func TestSearchSlavesFindsCut1(t *testing.T) {
+	g := fig4Graph(t, false)
+	best, err := SearchSlaves(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost != 2 {
+		t.Errorf("minimum slave count = %g, want 2 (Cut1)", best.Cost)
+	}
+}
+
+func TestEnumerateVisitsOnlyLegal(t *testing.T) {
+	g := fig4Graph(t, true)
+	count := 0
+	err := Enumerate(g, func(r map[int]int) {
+		count++
+		// Every visited assignment satisfies w_r >= 0 and the region
+		// pins: I1 must be retimed, V_n must not.
+		for _, n := range g.C.Nodes {
+			switch n.Name {
+			case "I1":
+				if r[n.ID] != -1 {
+					t.Fatal("V_m pin violated")
+				}
+			case "G7", "G8", "O9":
+				if r[n.ID] != 0 {
+					t.Fatal("V_n pin violated")
+				}
+			}
+		}
+		for _, e := range g.C.Edges() {
+			if r[e.To]-r[e.From] < 0 {
+				t.Fatal("edge weight went negative")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no legal assignments visited")
+	}
+	// Free nodes are V_r = {I2, G3, G4, G5, G6}: at most 2^5 assignments.
+	if count > 32 {
+		t.Errorf("visited %d assignments, more than the free space allows", count)
+	}
+}

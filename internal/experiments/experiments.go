@@ -1,0 +1,255 @@
+// Package experiments reproduces every table of the paper's evaluation
+// (Section VI, Tables I–IX) on the benchmark suite: it runs base
+// retiming, G-RAR under both delay models, the three virtual-library
+// variants, the movable-master extension and the error-rate simulation
+// for every circuit and EDL overhead, then renders the paper's tables
+// from the collected results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/core"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/sim"
+	"relatch/internal/sta"
+	"relatch/internal/vlib"
+)
+
+// Overheads are the paper's EDL overhead sweep: low, medium, high.
+var Overheads = []float64{0.5, 1.0, 2.0}
+
+// OverheadName labels an overhead value the way the tables do.
+func OverheadName(c float64) string {
+	switch c {
+	case 0.5:
+		return "Low"
+	case 1.0:
+		return "Medium"
+	case 2.0:
+		return "High"
+	}
+	return fmt.Sprintf("c=%g", c)
+}
+
+// Config tunes a suite run.
+type Config struct {
+	// Profiles selects benchmark names; nil runs all twelve.
+	Profiles []string
+	// Overheads sweeps EDL cost; nil uses the paper's {0.5, 1, 2}.
+	Overheads []float64
+	// SimCycles bounds the error-rate simulation length per run; large
+	// circuits are automatically scaled down. 0 picks a default.
+	SimCycles int
+	// MovableTrials bounds the master-move hill climb (Table IX).
+	MovableTrials int
+	// Method selects the flow solver.
+	Method flow.Method
+	// Progress, when non-nil, receives one line per completed step.
+	Progress io.Writer
+}
+
+// CircuitRun holds everything measured for one benchmark.
+type CircuitRun struct {
+	Profile bench.Profile
+	Seq     *netlist.SeqCircuit
+	Circuit *netlist.Circuit
+	Scheme  clocking.Scheme
+
+	// Table I quantities.
+	FlopAreaDesign float64 // flip-flop design area (FF + comb)
+	InitialED      int     // measured NCE
+	GenRuntime     time.Duration
+
+	ByOverhead map[float64]*OverheadRun
+}
+
+// OverheadRun is one (circuit, c) cell of the sweep.
+type OverheadRun struct {
+	C float64
+
+	Base     *core.Result
+	GRARPath *core.Result
+	GRARGate *core.Result
+
+	NVL, EVL, RVL *vlib.Result
+	Movable       *vlib.MovableResult
+
+	// GReclaim is the sizing-reclaim ablation (Section VI-D's closing
+	// observation): G-RAR's result after max-delay constraints at Π and
+	// a size-only compile.
+	GReclaim       *core.Result
+	ReclaimUpsized int
+
+	ErrBase, ErrRVL, ErrG, ErrGReclaim sim.Stats
+}
+
+// Suite is a completed sweep.
+type Suite struct {
+	Config Config
+	Runs   []*CircuitRun
+}
+
+func (cfg *Config) progress(format string, args ...interface{}) {
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, format+"\n", args...)
+	}
+}
+
+// simCycles scales the simulation length to the circuit size.
+func (cfg *Config) simCycles(gates int) int {
+	base := cfg.SimCycles
+	if base <= 0 {
+		base = 1000
+	}
+	if gates > 5000 {
+		return base / 4
+	}
+	if gates > 2000 {
+		return base / 2
+	}
+	return base
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Suite, error) {
+	lib := cell.Default(1.0)
+	profiles := cfg.Profiles
+	if profiles == nil {
+		for _, p := range bench.ISCAS89 {
+			profiles = append(profiles, p.Name)
+		}
+	}
+	overheads := cfg.Overheads
+	if overheads == nil {
+		overheads = Overheads
+	}
+	suite := &Suite{Config: cfg}
+	for _, name := range profiles {
+		prof, ok := bench.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		run, err := runCircuit(&cfg, lib, prof, overheads)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		suite.Runs = append(suite.Runs, run)
+	}
+	return suite, nil
+}
+
+func runCircuit(cfg *Config, lib *cell.Library, prof bench.Profile, overheads []float64) (*CircuitRun, error) {
+	t0 := time.Now()
+	seq, err := prof.BuildSeq(lib)
+	if err != nil {
+		return nil, err
+	}
+	c, scheme, err := prof.CutAndCalibrate(seq)
+	if err != nil {
+		return nil, err
+	}
+	run := &CircuitRun{
+		Profile:    prof,
+		Seq:        seq,
+		Circuit:    c,
+		Scheme:     scheme,
+		ByOverhead: make(map[float64]*OverheadRun),
+	}
+	run.FlopAreaDesign = float64(prof.Flops)*lib.FF.Area + c.CombArea()
+	run.InitialED = bench.MeasureInitialED(c, scheme)
+	run.GenRuntime = time.Since(t0)
+	cfg.progress("%s: generated (%d gates, NCE %d)", prof.Name, c.GateCount(), run.InitialED)
+
+	tm := sta.Analyze(c, sta.DefaultOptions(lib))
+	cycles := cfg.simCycles(c.GateCount())
+
+	for _, ov := range overheads {
+		or := &OverheadRun{C: ov}
+		copt := core.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method}
+
+		if or.Base, err = core.Retime(c, copt, core.ApproachBase); err != nil {
+			return nil, err
+		}
+		if or.GRARPath, err = core.Retime(c, copt, core.ApproachGRAR); err != nil {
+			return nil, err
+		}
+		gateOpt := copt
+		gateOpt.TimingModel = sta.ModelGate
+		if or.GRARGate, err = core.Retime(c, gateOpt, core.ApproachGRAR); err != nil {
+			return nil, err
+		}
+
+		vopt := vlib.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method, PostSwap: true}
+		if or.NVL, err = vlib.Retime(c, vopt, vlib.NVL); err != nil {
+			return nil, err
+		}
+		if or.EVL, err = vlib.Retime(c, vopt, vlib.EVL); err != nil {
+			return nil, err
+		}
+		if or.RVL, err = vlib.Retime(c, vopt, vlib.RVL); err != nil {
+			return nil, err
+		}
+
+		trials := cfg.MovableTrials
+		if trials <= 0 {
+			trials = 24
+			if c.GateCount() > 5000 {
+				trials = 8
+			}
+		}
+		if or.Movable, err = vlib.RetimeMovableMaster(seq, scheme, vopt, trials); err != nil {
+			return nil, err
+		}
+
+		if or.GRARPath.EDCount > 0 {
+			reclaimed, comp, err := core.ReclaimBySizing(or.GRARPath, 0)
+			if err != nil {
+				return nil, err
+			}
+			or.GReclaim = reclaimed
+			or.ReclaimUpsized = comp.Upsized
+		} else {
+			or.GReclaim = or.GRARPath
+		}
+
+		simCfg := sim.Config{Scheme: scheme, Latch: lib.BaseLatch, Cycles: cycles, Seed: prof.Seed}
+		if or.ErrBase, err = sim.ErrorRate(tm, or.Base.Placement, or.Base.EDMasters, simCfg); err != nil {
+			return nil, err
+		}
+		// The RVL run may have resized gates; simulate on its circuit.
+		rvlTm := sta.Analyze(or.RVL.Circuit, sta.DefaultOptions(lib))
+		if or.ErrRVL, err = sim.ErrorRate(rvlTm, or.RVL.Placement, or.RVL.EDMasters, simCfg); err != nil {
+			return nil, err
+		}
+		if or.ErrG, err = sim.ErrorRate(tm, or.GRARPath.Placement, or.GRARPath.EDMasters, simCfg); err != nil {
+			return nil, err
+		}
+		reclaimTm := tm
+		if or.GReclaim != or.GRARPath {
+			reclaimTm = sta.Analyze(or.GReclaim.Circuit, sta.DefaultOptions(lib))
+		}
+		if or.ErrGReclaim, err = sim.ErrorRate(reclaimTm, or.GReclaim.Placement, or.GReclaim.EDMasters, simCfg); err != nil {
+			return nil, err
+		}
+
+		run.ByOverhead[ov] = or
+		cfg.progress("%s c=%g: base %.0f, g-rar %.0f, rvl %.0f (total area)",
+			prof.Name, ov, or.Base.TotalArea, or.GRARPath.TotalArea, or.RVL.TotalArea)
+	}
+	return run, nil
+}
+
+// Overheads returns the sweep values actually run, in order.
+func (s *Suite) Overheads() []float64 {
+	if s.Config.Overheads != nil {
+		return s.Config.Overheads
+	}
+	return Overheads
+}

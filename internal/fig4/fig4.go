@@ -1,0 +1,126 @@
+// Package fig4 builds the worked example of the paper's Fig. 4/5: a
+// nine-node cut cloud with two master-driven inputs (I1, I2), gates
+// G3..G8 and one target master O9, under the clocking
+// φ1 = γ1 = φ2 = γ2 = 2.5 with zero latch delays.
+//
+// The gate delays below are reconstructed so that every number the paper
+// states holds exactly:
+//
+//	D^f: G3=2 G4=4 G5=5 G6=7 G7=8 G8=9 O9=9
+//	D^b(I1,O9)=9  D^b(I2,O9)=7
+//	A(G6,G7,O9)=9  A(G3,G6,O9)=12  A(G5,G7,O9)=7  A(I2,G5,O9)=12
+//	V_m={I1}  V_n={G7,G8,O9}  V_r={I2,G3,G4,G5,G6}  g(O9)={G5,G6}
+//	Cut1 (latches at G3, I2): 2 slaves, O9 error-detecting, arrival 12
+//	Cut2 (latches at G4, G5, G6): 3 slaves, O9 normal, arrival 9
+//
+// The package exists so that sta, rgraph, core and the examples all
+// golden-check against the same fixture.
+package fig4
+
+import (
+	"fmt"
+
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/netlist"
+)
+
+// Scheme is the example's clocking: Π = 10, resiliency window 2.5,
+// forward/backward borrowing limits 7.5.
+func Scheme() clocking.Scheme {
+	return clocking.Scheme{Phi1: 2.5, Gamma1: 2.5, Phi2: 2.5, Gamma2: 2.5}
+}
+
+// Delays maps gate name to the fixed delay d(v) used by the example.
+var Delays = map[string]float64{
+	"G3": 2, "G4": 2, "G5": 5, "G6": 5, "G7": 1, "G8": 1,
+}
+
+// EDLOverhead is the example's c: an error-detecting master costs 3 area
+// units against 1 for a slave or normal master ("Suppose the area cost of
+// an error-detecting latch is three units ... i.e. c = 2").
+const EDLOverhead = 2.0
+
+// ZeroLatch returns the example's idealized slave latch with D_l = 0:
+// zero clock-to-Q and D-to-Q delays.
+func ZeroLatch() cell.Latch { return cell.Latch{Name: "IDEAL", Area: 1} }
+
+// Circuit builds the example cloud. Cell bindings are arbitrary (the
+// example is driven by its fixed delays, supplied to sta as overrides).
+func Circuit() (*netlist.Circuit, error) {
+	lib := cell.Default(EDLOverhead)
+	b := netlist.NewBuilder("fig4", lib)
+	i1 := b.Input("I1", 0)
+	i2 := b.Input("I2", 1)
+	g3 := b.Gate("G3", lib.MustCell(cell.FuncBuf, 1), i1)
+	g4 := b.Gate("G4", lib.MustCell(cell.FuncNand2, 1), g3, i2)
+	g5 := b.Gate("G5", lib.MustCell(cell.FuncInv, 1), i2)
+	g6 := b.Gate("G6", lib.MustCell(cell.FuncInv, 1), g3)
+	g7 := b.Gate("G7", lib.MustCell(cell.FuncNor2, 1), g5, g6)
+	g8 := b.Gate("G8", lib.MustCell(cell.FuncAnd2, 1), g4, g7)
+	b.Output("O9", 2, g8)
+	return b.Build()
+}
+
+// MustCircuit is Circuit but panics on error, for tests and examples.
+func MustCircuit() *netlist.Circuit {
+	c, err := Circuit()
+	if err != nil {
+		panic(fmt.Sprintf("fig4: %v", err))
+	}
+	return c
+}
+
+// FixedDelays returns the per-node delay override map keyed by node ID
+// for use with the sta package's fixed-delay model.
+func FixedDelays(c *netlist.Circuit) map[int]float64 {
+	m := make(map[int]float64)
+	for _, n := range c.Nodes {
+		if d, ok := Delays[n.Name]; ok {
+			m[n.ID] = d
+		}
+	}
+	return m
+}
+
+// Cut1 returns the first candidate placement discussed in the paper:
+// slave latches at the output of G3 and at input I2 (2 physical latches;
+// forces O9 to be error-detecting; total cost 5 at c = 2).
+func Cut1(c *netlist.Circuit) *netlist.Placement {
+	p := netlist.NewPlacement()
+	g3, _ := c.Node("G3")
+	g4, _ := c.Node("G4")
+	g6, _ := c.Node("G6")
+	i2, _ := c.Node("I2")
+	p.OnEdge[netlist.Edge{From: g3.ID, To: g4.ID}] = true
+	p.OnEdge[netlist.Edge{From: g3.ID, To: g6.ID}] = true
+	p.AtInput[i2.ID] = true
+	return p
+}
+
+// Cut2 returns the optimal placement: slave latches at the outputs of G4,
+// G5 and G6 (3 physical latches; O9 stays normal; total cost 4 at c = 2).
+func Cut2(c *netlist.Circuit) *netlist.Placement {
+	p := netlist.NewPlacement()
+	pairs := [][2]string{{"G4", "G8"}, {"G5", "G7"}, {"G6", "G7"}}
+	for _, pr := range pairs {
+		u, _ := c.Node(pr[0])
+		v, _ := c.Node(pr[1])
+		p.OnEdge[netlist.Edge{From: u.ID, To: v.ID}] = true
+	}
+	return p
+}
+
+// OptimalRetiming returns the r-vector the paper's ILP produces:
+// r = −1 on I1, I2, G3, G4, G5, G6 and 0 elsewhere.
+func OptimalRetiming(c *netlist.Circuit) map[int]int {
+	r := make(map[int]int)
+	for _, name := range []string{"I1", "I2", "G3", "G4", "G5", "G6"} {
+		n, ok := c.Node(name)
+		if !ok {
+			panic("fig4: missing node " + name)
+		}
+		r[n.ID] = -1
+	}
+	return r
+}

@@ -1,0 +1,93 @@
+package fig4
+
+import (
+	"testing"
+
+	"relatch/internal/netlist"
+)
+
+func TestCircuitStructure(t *testing.T) {
+	c := MustCircuit()
+	if got := len(c.Inputs); got != 2 {
+		t.Errorf("inputs = %d, want 2 (I1, I2)", got)
+	}
+	if got := len(c.Outputs); got != 1 {
+		t.Errorf("outputs = %d, want 1 (O9)", got)
+	}
+	if got := c.GateCount(); got != 6 {
+		t.Errorf("gates = %d, want 6 (G3..G8)", got)
+	}
+	// The paper's connectivity: G3→{G4,G6}, I2→{G4,G5}, G5/G6→G7,
+	// G4/G7→G8, G8→O9.
+	edges := map[string][]string{
+		"I1": {"G3"}, "G3": {"G4", "G6"}, "I2": {"G4", "G5"},
+		"G5": {"G7"}, "G6": {"G7"}, "G7": {"G8"}, "G4": {"G8"}, "G8": {"O9"},
+	}
+	for from, tos := range edges {
+		u, ok := c.Node(from)
+		if !ok {
+			t.Fatalf("missing node %s", from)
+		}
+		for _, to := range tos {
+			v, _ := c.Node(to)
+			found := false
+			for _, f := range u.Fanout {
+				if f == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("missing edge %s -> %s", from, to)
+			}
+		}
+	}
+}
+
+func TestSchemeConstants(t *testing.T) {
+	s := Scheme()
+	if s.Period() != 10 || s.MaxStageDelay() != 12.5 {
+		t.Errorf("scheme %v: want Π=10, P=12.5", s)
+	}
+	if EDLOverhead != 2.0 {
+		t.Errorf("c = %g, want 2 (the example's 3-unit ED latch)", EDLOverhead)
+	}
+}
+
+func TestCutsAreLegal(t *testing.T) {
+	c := MustCircuit()
+	for name, p := range map[string]*netlist.Placement{"Cut1": Cut1(c), "Cut2": Cut2(c)} {
+		if err := p.Validate(c); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if got := Cut1(c).SlaveCount(); got != 2 {
+		t.Errorf("Cut1 slaves = %d, want 2", got)
+	}
+	if got := Cut2(c).SlaveCount(); got != 3 {
+		t.Errorf("Cut2 slaves = %d, want 3", got)
+	}
+}
+
+func TestOptimalRetimingMatchesCut2(t *testing.T) {
+	c := MustCircuit()
+	p := netlist.FromRetiming(c, OptimalRetiming(c))
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	want := Cut2(c)
+	for e := range want.OnEdge {
+		if !p.OnEdge[e] {
+			t.Errorf("r-vector placement misses latch on %v", e)
+		}
+	}
+	if p.SlaveCount() != want.SlaveCount() {
+		t.Errorf("slaves %d, want %d", p.SlaveCount(), want.SlaveCount())
+	}
+}
+
+func TestZeroLatch(t *testing.T) {
+	l := ZeroLatch()
+	if l.ClkToQ != 0 || l.DToQ != 0 || l.Setup != 0 {
+		t.Error("the example's latch must have zero delays (D_l = 0)")
+	}
+}

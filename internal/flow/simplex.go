@@ -1,0 +1,329 @@
+package flow
+
+import (
+	"fmt"
+)
+
+// arcState tracks where a non-tree arc sits.
+type arcState int8
+
+const (
+	atLower arcState = iota
+	inTree
+	atUpper
+)
+
+// SolveSimplex computes a min-cost flow with the primal network simplex
+// method (the solver the paper uses, Section IV-D): a big-M artificial
+// star forms the initial spanning-tree basis, entering arcs are chosen by
+// block search over reduced costs (falling back to Bland's rule under
+// long degenerate runs, which guarantees termination), and tree updates
+// re-hang only the detached subtree.
+func (nw *Network) SolveSimplex() (*Solution, error) {
+	if err := nw.checkBalanced(); err != nil {
+		return nil, err
+	}
+	n := nw.n
+	root := n
+	m := len(nw.arcs)
+
+	type sArc struct {
+		from, to  int
+		cost, cap int64
+	}
+	arcs := make([]sArc, m, m+n)
+	var costSum int64
+	for i, a := range nw.arcs {
+		arcs[i] = sArc{from: a.From, to: a.To, cost: a.Cost, cap: a.Cap}
+		c := a.Cost
+		if c < 0 {
+			c = -c
+		}
+		costSum += c
+	}
+	bigM := costSum + 1
+
+	flow := make([]int64, m, m+n)
+	state := make([]arcState, m, m+n)
+
+	parent := make([]int, n+1)
+	parentArc := make([]int, n+1)
+	depth := make([]int, n+1)
+	pot := make([]int64, n+1)
+	children := make([][]int, n+1)
+
+	parent[root] = -1
+	parentArc[root] = -1
+	for v := 0; v < n; v++ {
+		b := -nw.demand[v] // supply convention: outflow − inflow = b
+		ai := len(arcs)
+		if b >= 0 {
+			arcs = append(arcs, sArc{from: v, to: root, cost: bigM, cap: Unbounded})
+			flow = append(flow, b)
+			pot[v] = bigM
+		} else {
+			arcs = append(arcs, sArc{from: root, to: v, cost: bigM, cap: Unbounded})
+			flow = append(flow, -b)
+			pot[v] = -bigM
+		}
+		state = append(state, inTree)
+		parent[v] = root
+		parentArc[v] = ai
+		depth[v] = 1
+		children[root] = append(children[root], v)
+	}
+
+	removeChild := func(p, c int) {
+		list := children[p]
+		for i, w := range list {
+			if w == c {
+				list[i] = list[len(list)-1]
+				children[p] = list[:len(list)-1]
+				return
+			}
+		}
+	}
+
+	reduced := func(i int) int64 {
+		a := arcs[i]
+		return a.cost - pot[a.from] + pot[a.to]
+	}
+
+	// inSubtree reports whether w lies in the subtree rooted at y.
+	inSubtree := func(w, y int) bool {
+		for depth[w] > depth[y] {
+			w = parent[w]
+		}
+		return w == y
+	}
+
+	total := len(arcs)
+	blockSize := 64
+	for blockSize*blockSize < total {
+		blockSize++
+	}
+	cursor := 0
+	degenerate := 0
+	const degenerateLimit = 1 << 14
+	maxPivots := 200*total + 20000
+
+	for pivots := 0; ; pivots++ {
+		if pivots > maxPivots {
+			return nil, fmt.Errorf("flow: simplex exceeded %d pivots", maxPivots)
+		}
+		// Entering arc selection.
+		entering := -1
+		var bestViol int64
+		if degenerate > degenerateLimit {
+			// Bland's rule: first violating index.
+			for i := 0; i < total; i++ {
+				if state[i] == inTree {
+					continue
+				}
+				rc := reduced(i)
+				if (state[i] == atLower && rc < 0) || (state[i] == atUpper && rc > 0) {
+					entering = i
+					break
+				}
+			}
+		} else {
+			scanned := 0
+			for scanned < total && entering < 0 {
+				for k := 0; k < blockSize; k++ {
+					i := cursor
+					cursor++
+					if cursor == total {
+						cursor = 0
+					}
+					if state[i] == inTree {
+						continue
+					}
+					rc := reduced(i)
+					var viol int64
+					if state[i] == atLower && rc < 0 {
+						viol = -rc
+					} else if state[i] == atUpper && rc > 0 {
+						viol = rc
+					}
+					if viol > bestViol {
+						bestViol = viol
+						entering = i
+					}
+				}
+				scanned += blockSize
+			}
+		}
+		if entering < 0 {
+			break // optimal
+		}
+
+		// Push direction: from u to v in residual terms.
+		ea := arcs[entering]
+		u, v := ea.from, ea.to
+		if state[entering] == atUpper {
+			u, v = v, u
+		}
+
+		// Walk both sides to the LCA, recording the blocking residual.
+		delta := ea.cap
+		if state[entering] == atUpper {
+			delta = flow[entering]
+		} else if ea.cap != Unbounded {
+			delta = ea.cap - flow[entering]
+		} else {
+			delta = Unbounded
+		}
+		leaving := entering
+
+		x, y := v, u
+		// Residual capacity of a tree step, pushing from node w to its
+		// parent (up=true) or from the parent into w (up=false).
+		stepResidual := func(w int, up bool) int64 {
+			ai := parentArc[w]
+			a := arcs[ai]
+			aligned := (a.from == w) == up
+			if aligned {
+				if a.cap == Unbounded {
+					return Unbounded
+				}
+				return a.cap - flow[ai]
+			}
+			return flow[ai]
+		}
+		for x != y {
+			if depth[x] >= depth[y] {
+				if r := stepResidual(x, true); r < delta {
+					delta = r
+					leaving = parentArc[x]
+				}
+				x = parent[x]
+			} else {
+				if r := stepResidual(y, false); r < delta {
+					delta = r
+					leaving = parentArc[y]
+				}
+				y = parent[y]
+			}
+		}
+		if delta == Unbounded {
+			return nil, fmt.Errorf("flow: unbounded (negative-cost cycle of infinite capacity)")
+		}
+		if delta == 0 {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		// Apply the flow change around the cycle.
+		if state[entering] == atUpper {
+			flow[entering] -= delta
+		} else {
+			flow[entering] += delta
+		}
+		x, y = v, u
+		for x != y {
+			if depth[x] >= depth[y] {
+				ai := parentArc[x]
+				if arcs[ai].from == x {
+					flow[ai] += delta
+				} else {
+					flow[ai] -= delta
+				}
+				x = parent[x]
+			} else {
+				ai := parentArc[y]
+				if arcs[ai].to == y {
+					flow[ai] += delta
+				} else {
+					flow[ai] -= delta
+				}
+				y = parent[y]
+			}
+		}
+
+		if leaving == entering {
+			// The entering arc saturated; it swaps bounds and the tree
+			// is unchanged.
+			if state[entering] == atLower {
+				state[entering] = atUpper
+			} else {
+				state[entering] = atLower
+			}
+			continue
+		}
+
+		// Tree surgery: remove the leaving arc, attach the entering arc.
+		la := arcs[leaving]
+		yl := la.from
+		if parent[la.to] == la.from {
+			yl = la.to
+		}
+		if flow[leaving] == 0 {
+			state[leaving] = atLower
+		} else {
+			state[leaving] = atUpper
+		}
+		removeChild(parent[yl], yl)
+
+		p, q := ea.from, ea.to
+		if !inSubtree(p, yl) {
+			p, q = q, p
+		}
+		// Re-root the detached subtree at p by reversing the chain p→yl.
+		var chain []int
+		for w := p; ; w = parent[w] {
+			chain = append(chain, w)
+			if w == yl {
+				break
+			}
+		}
+		oldArcs := make([]int, len(chain)-1)
+		for i := 0; i+1 < len(chain); i++ {
+			oldArcs[i] = parentArc[chain[i]]
+			removeChild(chain[i+1], chain[i])
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			parent[chain[i+1]] = chain[i]
+			parentArc[chain[i+1]] = oldArcs[i]
+			children[chain[i]] = append(children[chain[i]], chain[i+1])
+		}
+		parent[p] = q
+		parentArc[p] = entering
+		children[q] = append(children[q], p)
+		state[entering] = inTree
+
+		// Refresh depth and potentials over the re-hung subtree.
+		stack := []int{p}
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			pw := parent[w]
+			ai := parentArc[w]
+			depth[w] = depth[pw] + 1
+			if arcs[ai].from == pw {
+				// rc = cost − pot(pw) + pot(w) = 0
+				pot[w] = pot[pw] - arcs[ai].cost
+			} else {
+				pot[w] = pot[pw] + arcs[ai].cost
+			}
+			stack = append(stack, children[w]...)
+		}
+	}
+
+	// Feasibility: artificial arcs must be idle.
+	for i := m; i < len(arcs); i++ {
+		if flow[i] != 0 {
+			return nil, fmt.Errorf("flow: infeasible (artificial arc carries %d units)", flow[i])
+		}
+	}
+	sol := &Solution{Flow: make([]int64, m)}
+	for i := 0; i < m; i++ {
+		sol.Flow[i] = flow[i]
+		sol.Cost += nw.arcs[i].Cost * flow[i]
+	}
+	if err := nw.verify(sol); err != nil {
+		return nil, fmt.Errorf("flow: internal: %v", err)
+	}
+	sol.Potential = nw.residualPotentials(sol.Flow, nw.potentialRoot())
+	return sol, nil
+}

@@ -1,0 +1,190 @@
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// SolveSSP computes a min-cost flow by successive shortest paths with
+// Dijkstra over reduced costs. Negative-cost arcs are handled by the
+// classical saturation transformation: each is filled to capacity up
+// front (adjusting node imbalances), after which every residual cost is
+// non-negative and pure Dijkstra augmentation is exact.
+func (nw *Network) SolveSSP() (*Solution, error) {
+	if err := nw.checkBalanced(); err != nil {
+		return nil, err
+	}
+	// Residual arc representation: pairs (2i, 2i+1) are the forward and
+	// backward residuals of input arc i. Super source S and sink T are
+	// appended as nodes n and n+1.
+	n := nw.n + 2
+	s, t := nw.n, nw.n+1
+
+	type rArc struct {
+		to   int
+		cap  int64
+		cost int64
+	}
+	var arcs []rArc
+	head := make([][]int, n)
+	addPair := func(u, v int, capacity, cost int64) {
+		head[u] = append(head[u], len(arcs))
+		arcs = append(arcs, rArc{to: v, cap: capacity, cost: cost})
+		head[v] = append(head[v], len(arcs))
+		arcs = append(arcs, rArc{to: u, cap: 0, cost: -cost})
+	}
+
+	// satCap bounds the useful flow on any single arc of a *bounded*
+	// problem: every path flow is limited by total demand and every
+	// cycle flow by some finite capacity on the cycle. Saturating
+	// negative uncapacitated arcs at satCap instead of Unbounded keeps
+	// the transformed supplies within integer range. (For an unbounded
+	// problem the result is a finite stand-in; the difference-LP layer
+	// rejects it when the extracted duals violate a constraint.)
+	var satCap int64 = 1
+	for v := range nw.demand {
+		if nw.demand[v] > 0 {
+			satCap += nw.demand[v]
+		}
+	}
+	for _, a := range nw.arcs {
+		if a.Cap != Unbounded {
+			satCap += a.Cap
+		}
+	}
+
+	imbalance := make([]int64, nw.n)
+	copy(imbalance, nw.demand)
+	for _, a := range nw.arcs {
+		addPair(a.From, a.To, a.Cap, a.Cost)
+		if a.Cost < 0 {
+			// Saturate: the arc starts full, its backward residual open.
+			sat := a.Cap
+			if sat > satCap {
+				sat = satCap
+			}
+			// The forward residual closes entirely: capacity beyond
+			// satCap is unusable in a bounded problem, and leaving it
+			// open would reintroduce a negative-cost arc.
+			i := len(arcs) - 2
+			arcs[i].cap = 0
+			arcs[i+1].cap = sat
+			imbalance[a.To] -= sat
+			imbalance[a.From] += sat
+		}
+	}
+
+	var total int64
+	for v, d := range imbalance {
+		if d < 0 {
+			addPair(s, v, -d, 0)
+		} else if d > 0 {
+			addPair(v, t, d, 0)
+			total += d
+			if total > Unbounded {
+				return nil, fmt.Errorf("flow: ssp supply overflow after negative-arc saturation")
+			}
+		}
+	}
+
+	const inf = math.MaxInt64 / 4
+	pot := make([]int64, n)
+	dist := make([]int64, n)
+	parent := make([]int, n)
+
+	var sent int64
+	for sent < total {
+		// Dijkstra on reduced costs from s.
+		for v := range dist {
+			dist[v] = inf
+			parent[v] = -1
+		}
+		dist[s] = 0
+		pq := &sspHeap{}
+		heap.Push(pq, pqItem{v: s, d: 0})
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(pqItem)
+			if it.d > dist[it.v] {
+				continue
+			}
+			for _, ai := range head[it.v] {
+				a := arcs[ai]
+				if a.cap <= 0 {
+					continue
+				}
+				rc := a.cost + pot[it.v] - pot[a.to]
+				if nd := it.d + rc; nd < dist[a.to] {
+					dist[a.to] = nd
+					parent[a.to] = ai
+					heap.Push(pq, pqItem{v: a.to, d: nd})
+				}
+			}
+		}
+		if dist[t] >= inf {
+			return nil, fmt.Errorf("flow: infeasible (only %d of %d units routable)", sent, total)
+		}
+		// Potential update capped at dist(t) keeps reduced costs valid
+		// for nodes Dijkstra did not settle this round.
+		for v := range pot {
+			d := dist[v]
+			if d > dist[t] {
+				d = dist[t]
+			}
+			pot[v] += d
+		}
+		// Bottleneck along the path.
+		push := total - sent
+		for v := t; v != s; {
+			ai := parent[v]
+			if arcs[ai].cap < push {
+				push = arcs[ai].cap
+			}
+			v = arcs[ai^1].to
+		}
+		for v := t; v != s; {
+			ai := parent[v]
+			arcs[ai].cap -= push
+			arcs[ai^1].cap += push
+			v = arcs[ai^1].to
+		}
+		sent += push
+	}
+
+	sol := &Solution{Flow: make([]int64, len(nw.arcs))}
+	for i, a := range nw.arcs {
+		// Flow on input arc i is the residual capacity of its backward arc.
+		x := arcs[2*i+1].cap
+		sol.Flow[i] = x
+		sol.Cost += a.Cost * x
+	}
+	if err := nw.verify(sol); err != nil {
+		return nil, fmt.Errorf("flow: internal: %v", err)
+	}
+	sol.Potential = nw.residualPotentials(sol.Flow, nw.potentialRoot())
+	return sol, nil
+}
+
+// potentialRoot picks the node potentials are normalized against: the
+// highest-index node, which the difference-constraint layer reserves for
+// its host/anchor variable. The choice only shifts potentials uniformly.
+func (nw *Network) potentialRoot() int { return nw.n - 1 }
+
+type pqItem struct {
+	v int
+	d int64
+}
+
+type sspHeap []pqItem
+
+func (h sspHeap) Len() int            { return len(h) }
+func (h sspHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h sspHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sspHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *sspHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

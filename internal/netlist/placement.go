@@ -1,0 +1,169 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement records where the slave latches sit in the cut cloud. A slave
+// latch can sit either directly at a cloud input (its initial position, at
+// the output of the master latch) or on an internal edge after retiming.
+//
+// Latch sharing follows Leiserson-Saxe: one physical latch at the output
+// of driver u serves every latched fanout edge of u, so the physical latch
+// count is the number of distinct latched drivers (plus latched inputs,
+// where the "driver" is the master latch itself).
+type Placement struct {
+	// AtInput marks cloud inputs whose slave latch is still at the
+	// master output (the position before retiming).
+	AtInput map[int]bool
+	// OnEdge marks internal edges carrying a slave latch.
+	OnEdge map[Edge]bool
+}
+
+// NewPlacement returns an empty placement.
+func NewPlacement() *Placement {
+	return &Placement{AtInput: make(map[int]bool), OnEdge: make(map[Edge]bool)}
+}
+
+// InitialPlacement returns the pre-retiming placement: one slave latch at
+// every cloud input, per Section III ("slave latches before retiming are
+// at the inputs of the circuit").
+func InitialPlacement(c *Circuit) *Placement {
+	p := NewPlacement()
+	for _, in := range c.Inputs {
+		p.AtInput[in.ID] = true
+	}
+	return p
+}
+
+// Clone deep-copies the placement.
+func (p *Placement) Clone() *Placement {
+	q := NewPlacement()
+	for id, v := range p.AtInput {
+		q.AtInput[id] = v
+	}
+	for e, v := range p.OnEdge {
+		q.OnEdge[e] = v
+	}
+	return q
+}
+
+// SlaveCount returns the number of physical slave latches, with fanout
+// sharing: one latch per latched input plus one per distinct driver node
+// with at least one latched fanout edge.
+func (p *Placement) SlaveCount() int {
+	count := 0
+	for _, latched := range p.AtInput {
+		if latched {
+			count++
+		}
+	}
+	drivers := make(map[int]bool)
+	for e, latched := range p.OnEdge {
+		if latched {
+			drivers[e.From] = true
+		}
+	}
+	return count + len(drivers)
+}
+
+// LatchedDrivers returns the IDs of nodes that carry a physical slave
+// latch at their output (including latched inputs), sorted.
+func (p *Placement) LatchedDrivers() []int {
+	set := make(map[int]bool)
+	for id, latched := range p.AtInput {
+		if latched {
+			set[id] = true
+		}
+	}
+	for e, latched := range p.OnEdge {
+		if latched {
+			set[e.From] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LatchOnEdge reports whether a signal travelling from node u to node v
+// crosses a slave latch, counting a latch at input u as on all of u's
+// fanout edges.
+func (p *Placement) LatchOnEdge(u, v *Node) bool {
+	if u.Kind == KindInput && p.AtInput[u.ID] {
+		return true
+	}
+	return p.OnEdge[Edge{From: u.ID, To: v.ID}]
+}
+
+// Validate checks retiming legality per Section III: every path from a
+// cloud input to a cloud output must cross exactly one slave latch. It
+// runs a single topological pass computing the min and max latch count
+// over paths reaching each node.
+func (p *Placement) Validate(c *Circuit) error {
+	const unset = -1
+	minL := make([]int, len(c.Nodes))
+	maxL := make([]int, len(c.Nodes))
+	for i := range minL {
+		minL[i], maxL[i] = unset, unset
+	}
+	for _, n := range c.topo {
+		if n.Kind == KindInput {
+			minL[n.ID], maxL[n.ID] = 0, 0
+			if p.AtInput[n.ID] {
+				minL[n.ID], maxL[n.ID] = 1, 1
+			}
+			continue
+		}
+		for _, f := range n.Fanin {
+			if minL[f.ID] == unset {
+				return fmt.Errorf("netlist: node %q unreachable from inputs", f.Name)
+			}
+			lat := 0
+			if p.OnEdge[Edge{From: f.ID, To: n.ID}] {
+				lat = 1
+			}
+			lo, hi := minL[f.ID]+lat, maxL[f.ID]+lat
+			if minL[n.ID] == unset || lo < minL[n.ID] {
+				minL[n.ID] = lo
+			}
+			if hi > maxL[n.ID] {
+				maxL[n.ID] = hi
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if minL[o.ID] != 1 || maxL[o.ID] != 1 {
+			return fmt.Errorf("netlist: output %q sees between %d and %d slave latches on its paths, want exactly 1",
+				o.Name, minL[o.ID], maxL[o.ID])
+		}
+	}
+	return nil
+}
+
+// FromRetiming converts a retiming vector r (r[id] ∈ {-1, 0}, indexed by
+// node ID; missing entries are 0) into a placement: a cloud input keeps
+// its latch when r(input)=0, and an internal edge (u,v) receives a latch
+// when r(v)−r(u) = 1. This is w_r(e) = w(e) − r(u) + r(v) specialized to
+// the initial weights of Section III (w=1 on the host→input edges, 0
+// elsewhere, r(host)=0).
+func FromRetiming(c *Circuit, r map[int]int) *Placement {
+	p := NewPlacement()
+	rv := func(n *Node) int { return r[n.ID] }
+	for _, in := range c.Inputs {
+		if rv(in) == 0 {
+			p.AtInput[in.ID] = true
+		}
+	}
+	for _, e := range c.Edges() {
+		u, v := c.Nodes[e.From], c.Nodes[e.To]
+		if rv(v)-rv(u) == 1 {
+			p.OnEdge[e] = true
+		}
+	}
+	return p
+}

@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relatch/internal/cell"
+)
+
+// randomChainFork builds a deterministic family of circuits indexed by a
+// seed: an input fans out into two reconverging branches of random
+// lengths, exercising sharing, reconvergence and multi-level cuts.
+func randomChainFork(seed int64) *Circuit {
+	lib := cell.Default(1.0)
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("quick", lib)
+	in := b.Input("i", 0)
+	mkChain := func(prefix string, n int, from *Node) *Node {
+		cur := from
+		for k := 0; k < n; k++ {
+			cur = b.Gate(prefix+string(rune('a'+k)), lib.MustCell(cell.FuncBuf, 1), cur)
+		}
+		return cur
+	}
+	left := mkChain("l", 1+rng.Intn(4), in)
+	right := mkChain("r", 1+rng.Intn(4), in)
+	join := b.Gate("j", lib.MustCell(cell.FuncNand2, 1), left, right)
+	tail := mkChain("t", rng.Intn(3), join)
+	b.Output("o", 1, tail)
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Property: FromRetiming of any monotone level-threshold assignment is a
+// legal placement, and every legal placement's slave count is at least 1
+// and at most the edge count.
+func TestQuickFromRetimingLegality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64, cutAt uint8) bool {
+		c := randomChainFork(seed % 64)
+		// Monotone assignment by longest-path level.
+		level := make(map[int]int)
+		maxL := 0
+		for _, n := range c.Topo() {
+			l := 0
+			for _, f := range n.Fanin {
+				if level[f.ID]+1 > l {
+					l = level[f.ID] + 1
+				}
+			}
+			level[n.ID] = l
+			if l > maxL {
+				maxL = l
+			}
+		}
+		cut := int(cutAt) % (maxL + 1)
+		r := map[int]int{}
+		for _, n := range c.Topo() {
+			if n.Kind != KindOutput && level[n.ID] < cut {
+				r[n.ID] = -1
+			}
+		}
+		p := FromRetiming(c, r)
+		if err := p.Validate(c); err != nil {
+			return false
+		}
+		sc := p.SlaveCount()
+		return sc >= 1 && sc <= len(c.Edges())+len(c.Inputs)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cloning preserves structure and placement legality transfers.
+func TestQuickCloneStructure(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	err := quick.Check(func(seed int64) bool {
+		c := randomChainFork(seed % 64)
+		cl := c.Clone()
+		if len(cl.Nodes) != len(c.Nodes) || cl.GateCount() != c.GateCount() {
+			return false
+		}
+		for i, n := range c.Nodes {
+			m := cl.Nodes[i]
+			if m.Name != n.Name || m.Kind != n.Kind || len(m.Fanin) != len(n.Fanin) || len(m.Fanout) != len(n.Fanout) {
+				return false
+			}
+			if m == n {
+				return false // must be distinct objects
+			}
+		}
+		p := InitialPlacement(c)
+		return p.Validate(cl) == nil
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LatchOnEdge agrees with the placement maps.
+func TestQuickLatchOnEdge(t *testing.T) {
+	c := randomChainFork(7)
+	p := InitialPlacement(c)
+	for _, e := range c.Edges() {
+		u, v := c.Nodes[e.From], c.Nodes[e.To]
+		want := u.Kind == KindInput // initial latches sit at the inputs
+		if got := p.LatchOnEdge(u, v); got != want {
+			t.Errorf("LatchOnEdge(%s,%s) = %v, want %v", u.Name, v.Name, got, want)
+		}
+	}
+}

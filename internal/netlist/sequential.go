@@ -1,0 +1,311 @@
+package netlist
+
+import (
+	"fmt"
+
+	"relatch/internal/cell"
+)
+
+// SeqKind classifies nodes of a flip-flop based sequential circuit, the
+// form in which benchmarks arrive before conversion to two-phase latches.
+type SeqKind int
+
+const (
+	SeqPI SeqKind = iota
+	SeqPO
+	SeqGate
+	SeqFF
+)
+
+func (k SeqKind) String() string {
+	switch k {
+	case SeqPI:
+		return "pi"
+	case SeqPO:
+		return "po"
+	case SeqGate:
+		return "gate"
+	case SeqFF:
+		return "ff"
+	}
+	return fmt.Sprintf("seqkind(%d)", int(k))
+}
+
+// SeqNode is one element of a flip-flop based design: a primary input or
+// output, a combinational gate, or a D flip-flop (single D fanin).
+type SeqNode struct {
+	ID     int
+	Name   string
+	Kind   SeqKind
+	Cell   *cell.Cell
+	Fanin  []*SeqNode
+	Fanout []*SeqNode
+}
+
+// SeqCircuit is a flip-flop based sequential design.
+type SeqCircuit struct {
+	Name  string
+	Lib   *cell.Library
+	Nodes []*SeqNode
+	PIs   []*SeqNode
+	POs   []*SeqNode
+	FFs   []*SeqNode
+}
+
+// SeqBuilder constructs a SeqCircuit.
+type SeqBuilder struct {
+	c      *SeqCircuit
+	byName map[string]*SeqNode
+	err    error
+}
+
+// NewSeqBuilder starts a flip-flop based circuit.
+func NewSeqBuilder(name string, lib *cell.Library) *SeqBuilder {
+	return &SeqBuilder{
+		c:      &SeqCircuit{Name: name, Lib: lib},
+		byName: make(map[string]*SeqNode),
+	}
+}
+
+func (b *SeqBuilder) add(n *SeqNode) *SeqNode {
+	if b.err == nil {
+		if _, dup := b.byName[n.Name]; dup {
+			b.err = fmt.Errorf("netlist: duplicate node name %q", n.Name)
+			return n
+		}
+		b.byName[n.Name] = n
+	}
+	n.ID = len(b.c.Nodes)
+	b.c.Nodes = append(b.c.Nodes, n)
+	return n
+}
+
+// PI adds a primary input.
+func (b *SeqBuilder) PI(name string) *SeqNode {
+	n := b.add(&SeqNode{Name: name, Kind: SeqPI})
+	b.c.PIs = append(b.c.PIs, n)
+	return n
+}
+
+// PO adds a primary output driven by from.
+func (b *SeqBuilder) PO(name string, from *SeqNode) *SeqNode {
+	n := b.add(&SeqNode{Name: name, Kind: SeqPO, Fanin: []*SeqNode{from}})
+	b.c.POs = append(b.c.POs, n)
+	return n
+}
+
+// Gate adds a combinational gate.
+func (b *SeqBuilder) Gate(name string, c *cell.Cell, fanin ...*SeqNode) *SeqNode {
+	if b.err == nil && c == nil {
+		b.err = fmt.Errorf("netlist: gate %q has no cell", name)
+	}
+	if b.err == nil && c != nil && len(fanin) != c.Func.Arity() {
+		b.err = fmt.Errorf("netlist: gate %q: cell %s wants %d fanins, got %d",
+			name, c.Name, c.Func.Arity(), len(fanin))
+	}
+	return b.add(&SeqNode{Name: name, Kind: SeqGate, Cell: c, Fanin: fanin})
+}
+
+// FF adds a D flip-flop. Its D fanin may be connected later with SetD,
+// which permits feedback through registers.
+func (b *SeqBuilder) FF(name string) *SeqNode {
+	n := b.add(&SeqNode{Name: name, Kind: SeqFF})
+	b.c.FFs = append(b.c.FFs, n)
+	return n
+}
+
+// SetD connects the D input of flip-flop ff to driver from.
+func (b *SeqBuilder) SetD(ff, from *SeqNode) {
+	if b.err == nil && ff.Kind != SeqFF {
+		b.err = fmt.Errorf("netlist: SetD on non-flop %q", ff.Name)
+		return
+	}
+	if b.err == nil && len(ff.Fanin) != 0 {
+		b.err = fmt.Errorf("netlist: flop %q already has a D driver", ff.Name)
+		return
+	}
+	ff.Fanin = []*SeqNode{from}
+}
+
+// Build finalizes the sequential circuit.
+func (b *SeqBuilder) Build() (*SeqCircuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c := b.c
+	for _, n := range c.Nodes {
+		if n.Kind == SeqFF && len(n.Fanin) != 1 {
+			return nil, fmt.Errorf("netlist: flop %q has no D driver", n.Name)
+		}
+		for _, f := range n.Fanin {
+			if f == nil {
+				return nil, fmt.Errorf("netlist: %s %q has a nil fanin", n.Kind, n.Name)
+			}
+			f.Fanout = append(f.Fanout, n)
+		}
+	}
+	return c, nil
+}
+
+// Clone deep-copies the sequential circuit (cells shared, structure
+// copied) so retiming transforms can reshape it without touching the
+// original.
+func (c *SeqCircuit) Clone() *SeqCircuit {
+	out := &SeqCircuit{Name: c.Name, Lib: c.Lib}
+	out.Nodes = make([]*SeqNode, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out.Nodes[i] = &SeqNode{ID: n.ID, Name: n.Name, Kind: n.Kind, Cell: n.Cell}
+	}
+	for i, n := range c.Nodes {
+		cn := out.Nodes[i]
+		cn.Fanin = make([]*SeqNode, len(n.Fanin))
+		for p, f := range n.Fanin {
+			cn.Fanin[p] = out.Nodes[f.ID]
+		}
+		cn.Fanout = make([]*SeqNode, len(n.Fanout))
+		for p, f := range n.Fanout {
+			cn.Fanout[p] = out.Nodes[f.ID]
+		}
+	}
+	remap := func(ns []*SeqNode) []*SeqNode {
+		out2 := make([]*SeqNode, len(ns))
+		for i, n := range ns {
+			out2[i] = out.Nodes[n.ID]
+		}
+		return out2
+	}
+	out.PIs = remap(c.PIs)
+	out.POs = remap(c.POs)
+	out.FFs = remap(c.FFs)
+	return out
+}
+
+// Compact drops the given nodes from the circuit and renumbers IDs.
+// Callers are responsible for having rewired all references first.
+func (c *SeqCircuit) Compact(dead map[*SeqNode]bool) {
+	filter := func(ns []*SeqNode) []*SeqNode {
+		out := ns[:0]
+		for _, n := range ns {
+			if !dead[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	c.Nodes = filter(c.Nodes)
+	c.FFs = filter(c.FFs)
+	c.PIs = filter(c.PIs)
+	c.POs = filter(c.POs)
+	for i, n := range c.Nodes {
+		n.ID = i
+	}
+}
+
+// GateCount returns the number of combinational gates.
+func (c *SeqCircuit) GateCount() int {
+	count := 0
+	for _, n := range c.Nodes {
+		if n.Kind == SeqGate {
+			count++
+		}
+	}
+	return count
+}
+
+// FFArea returns the total flip-flop area of the design.
+func (c *SeqCircuit) FFArea() float64 {
+	return float64(len(c.FFs)) * c.Lib.FF.Area
+}
+
+// CombArea returns the combinational area of the design.
+func (c *SeqCircuit) CombArea() float64 {
+	area := 0.0
+	for _, n := range c.Nodes {
+		if n.Kind == SeqGate {
+			area += n.Cell.Area
+		}
+	}
+	return area
+}
+
+// TotalArea is the flip-flop based design area reported in Table I.
+func (c *SeqCircuit) TotalArea() float64 { return c.FFArea() + c.CombArea() }
+
+// Cut converts the flip-flop design into the cut two-phase form of
+// Section III: every flip-flop becomes a fixed master latch (one cloud
+// input for its Q side, one cloud output for its D side), and — because a
+// two-phase latch design needs every cloud path registered — the primary
+// I/O boundary is registered as well, each PI and PO receiving its own
+// master latch index. Flop indices 0..len(FFs)-1 are the original flops,
+// followed by PI latches and then PO latches.
+func (c *SeqCircuit) Cut() (*Circuit, error) {
+	b := NewBuilder(c.Name, c.Lib)
+	mapped := make([]*Node, len(c.Nodes))
+	flopIndex := make(map[*SeqNode]int, len(c.FFs))
+	flop := 0
+
+	// Sources first: flop Q sides and registered PIs.
+	for _, ff := range c.FFs {
+		flopIndex[ff] = flop
+		mapped[ff.ID] = b.Input(ff.Name+"/Q", flop)
+		flop++
+	}
+	for _, pi := range c.PIs {
+		mapped[pi.ID] = b.Input(pi.Name, flop)
+		flop++
+	}
+
+	// Gates in dependency order: every gate's fanins are flops, PIs or
+	// earlier gates, so iterate until all are mapped.
+	remaining := make([]*SeqNode, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.Kind == SeqGate {
+			remaining = append(remaining, n)
+		}
+	}
+	for len(remaining) > 0 {
+		progress := false
+		next := remaining[:0]
+		for _, g := range remaining {
+			ready := true
+			for _, f := range g.Fanin {
+				if mapped[f.ID] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			fanin := make([]*Node, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = mapped[f.ID]
+			}
+			mapped[g.ID] = b.Gate(g.Name, g.Cell, fanin...)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("netlist: %s: combinational cycle not broken by flip-flops", c.Name)
+		}
+		remaining = append([]*SeqNode(nil), next...)
+	}
+
+	// Sinks: flop D sides and registered POs.
+	for _, ff := range c.FFs {
+		d := ff.Fanin[0]
+		if mapped[d.ID] == nil {
+			return nil, fmt.Errorf("netlist: flop %q D driver %q not mapped", ff.Name, d.Name)
+		}
+		b.Output(ff.Name+"/D", flopIndex[ff], mapped[d.ID])
+	}
+	for _, po := range c.POs {
+		d := po.Fanin[0]
+		if mapped[d.ID] == nil {
+			return nil, fmt.Errorf("netlist: PO %q driver %q not mapped", po.Name, d.Name)
+		}
+		b.Output(po.Name, flop, mapped[d.ID])
+		flop++
+	}
+	return b.Build()
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Demo", "Circuit", "Area", "Impr(%)")
+	t.AddRow("s1196", F(376.18, 2), Impr(400, 376.18))
+	t.AddRow("s1238", F(334.89, 2))
+	t.AddNote("hello %d", 42)
+	return t
+}
+
+func TestString(t *testing.T) {
+	out := sample().String()
+	for _, want := range []string{"Demo", "Circuit", "s1196", "376.18", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Alignment: all data lines equal prefix width for first column.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "Circuit") {
+		t.Errorf("header misplaced: %q", lines[1])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "| Circuit | Area | Impr(%) |") {
+		t.Errorf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(out, "*hello 42*") {
+		t.Errorf("missing note:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("x", "a", "b")
+	tab.AddRow(`with,comma`, `with"quote`)
+	out := tab.CSV()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tab := New("x", "a", "b", "c")
+	tab.AddRow("only")
+	if got := len(tab.Rows[0]); got != 3 {
+		t.Errorf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestImpr(t *testing.T) {
+	if got := Impr(100, 90); got != "10.00" {
+		t.Errorf("Impr = %s", got)
+	}
+	if got := Impr(100, 110); got != "-10.00" {
+		t.Errorf("Impr = %s", got)
+	}
+	if got := Impr(0, 5); got != "n/a" {
+		t.Errorf("Impr with zero base = %s", got)
+	}
+	if v := ImprValue(200, 150); math.Abs(v-25) > 1e-12 {
+		t.Errorf("ImprValue = %g", v)
+	}
+	if v := ImprValue(0, 150); v != 0 {
+		t.Errorf("ImprValue zero base = %g", v)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestFAndI(t *testing.T) {
+	if F(3.14159, 3) != "3.142" || I(7) != "7" {
+		t.Error("formatting helpers wrong")
+	}
+}

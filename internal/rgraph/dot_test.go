@@ -1,0 +1,52 @@
+package rgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTFig4(t *testing.T) {
+	_, g := fig4Graph(t, true)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Structure of Fig. 5: blue V1/E1 with host, mirrors for the
+	// multi-fanout nodes G3 and I2, and the red pseudo node P(O9) fed by
+	// the cut set {G5, G6} with its −c reward edge to the host.
+	for _, want := range []string{
+		"digraph retiming",
+		"host [shape=doublecircle",
+		`"m_G3" [shape=diamond`,
+		`"m_I2" [shape=diamond`,
+		`"P_O9" [shape=octagon, color=red`,
+		`"G5" -> "P_O9" [color=red]`,
+		`"G6" -> "P_O9" [color=red]`,
+		`"P_O9" -> host [color=red, label="-c=2"]`,
+		`host -> "I1" [color=blue, label="w=1"]`,
+		`"O9" -> host [color=blue, style=dashed]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT output:\n%s", want, out)
+		}
+	}
+	// Region shapes: I1 in V_m (invtriangle), G7 in V_n (box).
+	if !strings.Contains(out, `"I1" [shape=invtriangle`) {
+		t.Error("I1 should render as a V_m node")
+	}
+	if !strings.Contains(out, `"G7" [shape=box`) {
+		t.Error("G7 should render as a V_n node")
+	}
+}
+
+func TestWriteDOTBaseHasNoPseudo(t *testing.T) {
+	_, g := fig4Graph(t, false)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "P_O9") {
+		t.Error("base graph must not carry pseudo nodes")
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim measures error rates of retimed resilient designs by
+// random-input timed simulation, reproducing the methodology behind
+// Table VIII: each cycle applies fresh values at the master boundary,
+// propagates final values with per-edge delays (latch transparency
+// included), and counts a cycle as an error when any error-detecting
+// master sees its data settle inside the timing resiliency window
+// (Π, Π+φ1]. Transitions inside the window of a non-error-detecting
+// master or past Π+φ1 anywhere are functional hazards; both are counted
+// and asserted zero by the test suite for legal retimings.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Scheme clocking.Scheme
+	Latch  cell.Latch
+	Cycles int
+	Seed   int64
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Cycles      int
+	ErrorCycles int
+	// ErrorRate is the percentage of cycles with at least one
+	// error-detection event (the unit of Table VIII).
+	ErrorRate float64
+	// DetectedTransitions counts individual window hits at ED masters.
+	DetectedTransitions int
+	// MissedViolations counts window hits at non-ED masters: a soundness
+	// failure of the ED assignment if nonzero.
+	MissedViolations int
+	// HardFailures counts arrivals past Π+φ1: a retiming legality
+	// failure if nonzero.
+	HardFailures int
+}
+
+// ErrorRate simulates the placed design for cfg.Cycles random cycles.
+// The timing view must belong to the circuit; ed flags the
+// error-detecting masters by output node ID.
+func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config) (Stats, error) {
+	c := tm.C
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 1000
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if err := p.Validate(c); err != nil {
+		return Stats{}, fmt.Errorf("sim: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Feedback wiring: an input whose flop index also appears as an
+	// output receives that output's captured value next cycle.
+	outOfFlop := make(map[int]*netlist.Node)
+	for _, o := range c.Outputs {
+		outOfFlop[o.Flop] = o
+	}
+
+	value := make([]bool, len(c.Nodes))
+	prev := make([]bool, len(c.Nodes))
+	arrive := make([]float64, len(c.Nodes))
+	toggled := make([]bool, len(c.Nodes))
+	state := make(map[int]bool) // master value per input node ID
+
+	for _, in := range c.Inputs {
+		state[in.ID] = rng.Intn(2) == 1
+	}
+	evalCycle := func(first bool) {
+		copy(prev, value)
+		for _, n := range c.Topo() {
+			switch n.Kind {
+			case netlist.KindInput:
+				value[n.ID] = state[n.ID]
+			case netlist.KindGate:
+				in := make([]bool, len(n.Fanin))
+				for i, f := range n.Fanin {
+					in[i] = value[f.ID]
+				}
+				value[n.ID] = n.Cell.Func.Eval(in)
+			case netlist.KindOutput:
+				value[n.ID] = value[n.Fanin[0].ID]
+			}
+		}
+		if first {
+			copy(prev, value)
+		}
+	}
+	evalCycle(true)
+
+	stats := Stats{Cycles: cfg.Cycles}
+	open := cfg.Scheme.SlaveOpen()
+	period := cfg.Scheme.Period()
+	maxStage := cfg.Scheme.MaxStageDelay()
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		// Advance the boundary: feedback flops capture, pure inputs
+		// take fresh random values.
+		for _, in := range c.Inputs {
+			if o, ok := outOfFlop[in.Flop]; ok {
+				state[in.ID] = value[o.ID]
+			} else {
+				state[in.ID] = rng.Intn(2) == 1
+			}
+		}
+		evalCycle(false)
+
+		// Timed propagation of final-value transitions.
+		for _, n := range c.Topo() {
+			toggled[n.ID] = value[n.ID] != prev[n.ID]
+			if !toggled[n.ID] {
+				arrive[n.ID] = 0
+				continue
+			}
+			switch n.Kind {
+			case netlist.KindInput:
+				t := tm.Opt.LaunchDelay
+				if p.AtInput[n.ID] {
+					t = latchThrough(t, open, cfg.Latch)
+				}
+				arrive[n.ID] = t
+			default:
+				worst := 0.0
+				for _, u := range n.Fanin {
+					if !toggled[u.ID] {
+						continue
+					}
+					t := arrive[u.ID]
+					if p.OnEdge[netlist.Edge{From: u.ID, To: n.ID}] {
+						t = latchThrough(t, open, cfg.Latch)
+					}
+					t += tm.EdgeDelay(u, n)
+					if t > worst {
+						worst = t
+					}
+				}
+				arrive[n.ID] = worst
+			}
+		}
+
+		errCycle := false
+		for _, o := range c.Outputs {
+			if !toggled[o.ID] {
+				continue
+			}
+			switch {
+			case arrive[o.ID] > maxStage+1e-9:
+				stats.HardFailures++
+			case arrive[o.ID] > period+1e-9:
+				if ed[o.ID] {
+					stats.DetectedTransitions++
+					errCycle = true
+				} else {
+					stats.MissedViolations++
+				}
+			}
+		}
+		if errCycle {
+			stats.ErrorCycles++
+		}
+	}
+	stats.ErrorRate = 100 * float64(stats.ErrorCycles) / float64(stats.Cycles)
+	return stats, nil
+}
+
+// latchThrough applies slave-latch transparency to a transition arriving
+// at time t: wait for the latch to open, then clock-to-Q; or pass
+// transparently with D-to-Q.
+func latchThrough(t, open float64, l cell.Latch) float64 {
+	launch := open + l.ClkToQ
+	if d := t + l.DToQ; d > launch {
+		launch = d
+	}
+	return launch
+}

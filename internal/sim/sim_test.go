@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/core"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// windowCircuit builds a buffer chain whose endpoint arrival lands inside
+// the resiliency window under the returned scheme.
+func windowCircuit(t *testing.T) (*netlist.Circuit, *sta.Timing, clocking.Scheme) {
+	t.Helper()
+	lib := cell.Default(1.0)
+	b := netlist.NewBuilder("win", lib)
+	in := b.Input("i", 0)
+	cur := in
+	for i := 0; i < 6; i++ {
+		cur = b.Gate("g"+string(rune('a'+i)), lib.MustCell(cell.FuncBuf, 1), cur)
+	}
+	b.Output("o", 1, cur)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sta.DefaultOptions(lib)
+	opt.LaunchDelay = 0
+	tm := sta.Analyze(c, opt)
+	arr := tm.Arrival(c.Outputs[0])
+	// With the slave latch at the input and zero latch delays, the
+	// endpoint settles at φ1+γ1+arr = 0.3P+arr. Choosing P = 1.6·arr
+	// puts that arrival (1.48·arr) inside the window (Π, P] =
+	// (1.12·arr, 1.6·arr].
+	scheme := clocking.Symmetric(arr * 1.6)
+	return c, tm, scheme
+}
+
+func TestEveryToggleDetected(t *testing.T) {
+	c, tm, scheme := windowCircuit(t)
+	o := c.Outputs[0]
+	// Empty-latch placement is illegal; put the latch at the input and
+	// use a zero-delay latch so timing matches the raw analysis.
+	p := netlist.InitialPlacement(c)
+	latch := cell.Latch{}
+	cfg := Config{Scheme: scheme, Latch: latch, Cycles: 400, Seed: 1}
+	stats, err := ErrorRate(tm, p, map[int]bool{o.ID: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MissedViolations != 0 {
+		t.Errorf("missed violations = %d with ED master", stats.MissedViolations)
+	}
+	if stats.ErrorCycles == 0 {
+		t.Fatal("chain toggles on roughly half the cycles; expected errors")
+	}
+	// A buffer chain toggles its endpoint whenever the input flips
+	// (p≈0.5); the error rate should be near 50%.
+	if stats.ErrorRate < 25 || stats.ErrorRate > 75 {
+		t.Errorf("error rate = %g%%, expected near 50%%", stats.ErrorRate)
+	}
+}
+
+func TestMissedViolationCounted(t *testing.T) {
+	c, tm, scheme := windowCircuit(t)
+	p := netlist.InitialPlacement(c)
+	cfg := Config{Scheme: scheme, Latch: cell.Latch{}, Cycles: 200, Seed: 2}
+	stats, err := ErrorRate(tm, p, nil, cfg) // no ED assigned: unsound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MissedViolations == 0 {
+		t.Error("unsound ED assignment must surface as missed violations")
+	}
+	if stats.ErrorCycles != 0 {
+		t.Error("no ED masters, so no error cycles")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	c, tm, scheme := windowCircuit(t)
+	p := netlist.InitialPlacement(c)
+	ed := map[int]bool{c.Outputs[0].ID: true}
+	cfg := Config{Scheme: scheme, Latch: cell.Latch{}, Cycles: 300, Seed: 7}
+	a, err := ErrorRate(tm, p, ed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErrorRate(tm, p, ed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different stats: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 8
+	cdiff, err := ErrorRate(tm, p, ed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == cdiff && a.ErrorCycles > 0 {
+		t.Log("different seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+func TestRejectsIllegalPlacement(t *testing.T) {
+	_, tm, scheme := windowCircuit(t)
+	cfg := Config{Scheme: scheme, Latch: cell.Latch{}, Cycles: 10, Seed: 1}
+	if _, err := ErrorRate(tm, netlist.NewPlacement(), nil, cfg); err == nil {
+		t.Error("latch-free placement accepted")
+	}
+}
+
+// TestRetimedDesignsAreSound: on a random corpus, G-RAR and base results
+// must never miss a violation or hard-fail — the ED assignment and the
+// retiming legality hold under simulation, not just static analysis.
+func TestRetimedDesignsAreSound(t *testing.T) {
+	lib := cell.Default(1.0)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 50))
+		c, err := bench.RandomCloud("sound", lib, rng, bench.RandomSpec{
+			Inputs: 4, Outputs: 3, Gates: 30 + int(seed)*5, Locality: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheme := bench.SchemeFor(c, sta.DefaultOptions(lib))
+		for _, approach := range []core.Approach{core.ApproachGRAR, core.ApproachBase} {
+			res, err := core.Retime(c, core.Options{Scheme: scheme, EDLCost: 1}, approach)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, approach, err)
+			}
+			tm := sta.Analyze(c, sta.DefaultOptions(lib))
+			stats, err := ErrorRate(tm, res.Placement, res.EDMasters, Config{
+				Scheme: scheme, Latch: lib.BaseLatch, Cycles: 300, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, approach, err)
+			}
+			if stats.MissedViolations != 0 {
+				t.Errorf("seed %d %v: %d missed violations", seed, approach, stats.MissedViolations)
+			}
+			if stats.HardFailures != 0 {
+				t.Errorf("seed %d %v: %d hard failures", seed, approach, stats.HardFailures)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package verilog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// randomSeq builds a random flip-flop design with feedback.
+func randomSeq(t *testing.T, seed int64) *netlist.SeqCircuit {
+	t.Helper()
+	lib := cell.Default(1.0)
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewSeqBuilder(fmt.Sprintf("rnd%d", seed), lib)
+	var pool []*netlist.SeqNode
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		pool = append(pool, b.PI(fmt.Sprintf("in%d", i)))
+	}
+	var ffs []*netlist.SeqNode
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		ff := b.FF(fmt.Sprintf("r%d", i))
+		ffs = append(ffs, ff)
+		pool = append(pool, ff)
+	}
+	funcs := []cell.Function{
+		cell.FuncInv, cell.FuncBuf, cell.FuncNand2, cell.FuncNor2,
+		cell.FuncAnd2, cell.FuncOr2, cell.FuncXor2, cell.FuncXnor2,
+		cell.FuncNand3, cell.FuncAoi21, cell.FuncMux2, cell.FuncNand4,
+	}
+	for i := 0; i < 5+rng.Intn(20); i++ {
+		f := funcs[rng.Intn(len(funcs))]
+		fanin := make([]*netlist.SeqNode, f.Arity())
+		for p := range fanin {
+			fanin[p] = pool[rng.Intn(len(pool))]
+		}
+		g := b.Gate(fmt.Sprintf("g%d", i), lib.MustCell(f, 1), fanin...)
+		pool = append(pool, g)
+	}
+	for _, ff := range ffs {
+		b.SetD(ff, pool[len(pool)-1-rand.New(rand.NewSource(seed+int64(ff.ID))).Intn(3)])
+	}
+	b.PO("out", pool[len(pool)-1])
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRandomRoundTripProperty: write → parse preserves the interface
+// counts and produces a structurally sound, cuttable circuit, for a
+// corpus of random designs including complex cells that must decompose.
+func TestRandomRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c1 := randomSeq(t, seed)
+		var sb strings.Builder
+		if err := Write(&sb, c1); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c2, err := ParseString(sb.String(), c1.Lib)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, sb.String())
+		}
+		if len(c2.PIs) != len(c1.PIs) || len(c2.POs) != len(c1.POs) || len(c2.FFs) != len(c1.FFs) {
+			t.Fatalf("seed %d: interface mismatch: PIs %d/%d POs %d/%d FFs %d/%d",
+				seed, len(c2.PIs), len(c1.PIs), len(c2.POs), len(c1.POs), len(c2.FFs), len(c1.FFs))
+		}
+		cut, err := c2.Cut()
+		if err != nil {
+			t.Fatalf("seed %d: cut: %v", seed, err)
+		}
+		if err := cut.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// A second round trip must be a fixpoint on gate count (all
+		// cells are primitives after the first decomposition).
+		var sb2 strings.Builder
+		if err := Write(&sb2, c2); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c3, err := ParseString(sb2.String(), c1.Lib)
+		if err != nil {
+			t.Fatalf("seed %d: third parse: %v", seed, err)
+		}
+		if c3.GateCount() != c2.GateCount() {
+			t.Errorf("seed %d: second round trip changed gate count %d -> %d",
+				seed, c2.GateCount(), c3.GateCount())
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package verilog reads and writes the structural Verilog subset the
+// ISCAS89 benchmark distributions use: one module of primitive gate
+// instantiations (not/buf/and/nand/or/nor/xor/xnor with arbitrary arity,
+// first port the output) plus dff instances (clock, Q, D). Parsing yields
+// a netlist.SeqCircuit bound to a cell library; wide gates are decomposed
+// into balanced trees of library cells. The writer emits the same subset,
+// so real benchmark netlists can replace the synthetic profiles
+// one-for-one when available.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// primitive gate names of the subset.
+var primitiveFuncs = map[string]struct {
+	inverted bool
+	base     string
+}{
+	"not":  {true, "buf"},
+	"buf":  {false, "buf"},
+	"and":  {false, "and"},
+	"nand": {true, "and"},
+	"or":   {false, "or"},
+	"nor":  {true, "or"},
+	"xor":  {false, "xor"},
+	"xnor": {true, "xor"},
+}
+
+// Parse reads one module and builds a flip-flop based circuit over lib.
+func Parse(r io.Reader, lib *cell.Library) (*netlist.SeqCircuit, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := tokenize(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, lib: lib}
+	return p.module()
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string, lib *cell.Library) (*netlist.SeqCircuit, error) {
+	return Parse(strings.NewReader(src), lib)
+}
+
+// tokenize splits the source into identifiers and punctuation, stripping
+// // and /* */ comments.
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("verilog: unterminated block comment")
+			}
+			i += end + 4
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r(),;", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	lib  *cell.Library
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("verilog: expected %q, got %q (token %d)", t, got, p.pos)
+	}
+	return nil
+}
+
+// identList parses a comma-separated identifier list up to ';'.
+func (p *parser) identList() ([]string, error) {
+	var ids []string
+	for {
+		id := p.next()
+		if id == "" {
+			return nil, fmt.Errorf("verilog: unexpected end of input in list")
+		}
+		ids = append(ids, id)
+		switch p.next() {
+		case ",":
+		case ";":
+			return ids, nil
+		default:
+			return nil, fmt.Errorf("verilog: malformed identifier list near %q", id)
+		}
+	}
+}
+
+// instance is one gate or flop statement, resolved after all signals are
+// known.
+type instance struct {
+	prim string
+	name string
+	args []string
+}
+
+// module parses `module name (ports); input...; output...; wire...;
+// instances... endmodule`.
+func (p *parser) module() (*netlist.SeqCircuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" && p.peek() != "" {
+		p.next()
+		if p.peek() == "," {
+			p.next()
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []string
+	var insts []instance
+	for {
+		switch t := p.next(); t {
+		case "endmodule":
+			return p.build(name, inputs, outputs, insts)
+		case "input":
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, ids...)
+		case "output":
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, ids...)
+		case "wire":
+			if _, err := p.identList(); err != nil {
+				return nil, err
+			}
+		case "":
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		default:
+			inst := instance{prim: strings.ToLower(t), name: p.next()}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				arg := p.next()
+				if arg == ")" {
+					break
+				}
+				if arg == "," {
+					continue
+				}
+				if arg == "" {
+					return nil, fmt.Errorf("verilog: unterminated instance %s", inst.name)
+				}
+				inst.args = append(inst.args, arg)
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst)
+		}
+	}
+}
+
+// build resolves instances into a SeqCircuit. Gate instances may appear
+// in any order; resolution happens through a signal table with deferred
+// fanin hookup via an intermediate representation.
+func (p *parser) build(name string, inputs, outputs []string, insts []instance) (*netlist.SeqCircuit, error) {
+	b := netlist.NewSeqBuilder(name, p.lib)
+	signal := make(map[string]*netlist.SeqNode)
+	clocks := make(map[string]bool)
+
+	// Output-aliasing buffers (the Write counterpart emits
+	// `buf <net>_drv(<net>, <src>)` to give a primary output its own
+	// name) are stripped rather than materialized, so write→parse is a
+	// fixpoint on gate count.
+	isOutput := make(map[string]bool, len(outputs))
+	for _, o := range outputs {
+		isOutput[o] = true
+	}
+	alias := make(map[string]string)
+	var kept []instance
+	for _, inst := range insts {
+		if inst.prim == "buf" && len(inst.args) == 2 &&
+			isOutput[inst.args[0]] && inst.name == inst.args[0]+"_drv" {
+			alias[inst.args[0]] = inst.args[1]
+			continue
+		}
+		kept = append(kept, inst)
+	}
+	insts = kept
+
+	for _, in := range inputs {
+		signal[in] = nil // reserved; materialized below unless a clock
+	}
+	// Identify clock nets: first argument of every dff.
+	for _, inst := range insts {
+		if inst.prim == "dff" {
+			if len(inst.args) != 3 {
+				return nil, fmt.Errorf("verilog: dff %s wants (clk, q, d)", inst.name)
+			}
+			clocks[inst.args[0]] = true
+		}
+	}
+	for _, in := range inputs {
+		if !clocks[in] {
+			signal[in] = b.PI(in)
+		}
+	}
+	// Flops next: their Q nets become available as sources.
+	type pendingFF struct {
+		ff *netlist.SeqNode
+		d  string
+	}
+	var ffs []pendingFF
+	for _, inst := range insts {
+		if inst.prim != "dff" {
+			continue
+		}
+		q, d := inst.args[1], inst.args[2]
+		ff := b.FF(inst.name)
+		if _, dup := signal[q]; dup && signal[q] != nil {
+			return nil, fmt.Errorf("verilog: net %s driven twice", q)
+		}
+		signal[q] = ff
+		ffs = append(ffs, pendingFF{ff: ff, d: d})
+	}
+	// Gates: iterate until fixpoint (fanins may be declared later).
+	type pendingGate struct {
+		inst instance
+	}
+	var gates []pendingGate
+	for _, inst := range insts {
+		if inst.prim != "dff" {
+			gates = append(gates, pendingGate{inst: inst})
+		}
+	}
+	emitted := 0
+	for len(gates) > 0 {
+		var defer2 []pendingGate
+		progress := false
+		for _, g := range gates {
+			prim, ok := primitiveFuncs[g.inst.prim]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unknown primitive %q", g.inst.prim)
+			}
+			if len(g.inst.args) < 2 {
+				return nil, fmt.Errorf("verilog: gate %s needs an output and at least one input", g.inst.name)
+			}
+			ready := true
+			for _, a := range g.inst.args[1:] {
+				if n, ok := signal[a]; !ok || n == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				defer2 = append(defer2, g)
+				continue
+			}
+			fanin := make([]*netlist.SeqNode, len(g.inst.args)-1)
+			for i, a := range g.inst.args[1:] {
+				fanin[i] = signal[a]
+			}
+			out, err := p.emitTree(b, g.inst.name, prim.base, prim.inverted, fanin, &emitted)
+			if err != nil {
+				return nil, err
+			}
+			outNet := g.inst.args[0]
+			if old, dup := signal[outNet]; dup && old != nil {
+				return nil, fmt.Errorf("verilog: net %s driven twice", outNet)
+			}
+			signal[outNet] = out
+			progress = true
+		}
+		if !progress {
+			var missing []string
+			for _, g := range gates {
+				missing = append(missing, g.inst.name)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("verilog: combinational cycle or undriven nets involving %v", missing)
+		}
+		gates = defer2
+	}
+	for _, f := range ffs {
+		d, ok := signal[f.d]
+		if !ok || d == nil {
+			return nil, fmt.Errorf("verilog: flop %s: undriven D net %s", f.ff.Name, f.d)
+		}
+		b.SetD(f.ff, d)
+	}
+	for _, out := range outputs {
+		src, name := out, "po_"+out
+		if a, ok := alias[out]; ok {
+			// The aliased name is free to reuse (no gate carries it).
+			src, name = a, out
+		}
+		d, ok := signal[src]
+		if !ok || d == nil {
+			return nil, fmt.Errorf("verilog: undriven output %s", out)
+		}
+		b.PO(name, d)
+	}
+	return b.Build()
+}
+
+// emitTree maps a wide primitive onto library cells: exact-arity cells
+// when available, otherwise a balanced tree of 2-input cells, with a
+// final inverter for the inverted forms.
+func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted bool, fanin []*netlist.SeqNode, emitted *int) (*netlist.SeqNode, error) {
+	gname := func() string {
+		*emitted++
+		return fmt.Sprintf("%s__%d", name, *emitted)
+	}
+	pick := func(f cell.Function) *cell.Cell { return p.lib.MustCell(f, 1) }
+
+	if base == "buf" {
+		f := cell.FuncBuf
+		if inverted {
+			f = cell.FuncInv
+		}
+		if len(fanin) != 1 {
+			return nil, fmt.Errorf("verilog: %s wants one input", name)
+		}
+		return b.Gate(gname(), pick(f), fanin[0]), nil
+	}
+
+	// Exact-arity library matches for the inverted forms.
+	if inverted && base == "xor" && len(fanin) == 2 {
+		return b.Gate(gname(), pick(cell.FuncXnor2), fanin...), nil
+	}
+	if inverted && base != "xor" {
+		var f cell.Function = -1
+		switch {
+		case base == "and" && len(fanin) == 2:
+			f = cell.FuncNand2
+		case base == "and" && len(fanin) == 3:
+			f = cell.FuncNand3
+		case base == "and" && len(fanin) == 4:
+			f = cell.FuncNand4
+		case base == "or" && len(fanin) == 2:
+			f = cell.FuncNor2
+		case base == "or" && len(fanin) == 3:
+			f = cell.FuncNor3
+		case base == "or" && len(fanin) == 4:
+			f = cell.FuncNor4
+		}
+		if f >= 0 {
+			return b.Gate(gname(), pick(f), fanin...), nil
+		}
+	}
+	var two, three cell.Function
+	switch base {
+	case "and":
+		two, three = cell.FuncAnd2, cell.FuncAnd3
+	case "or":
+		two, three = cell.FuncOr2, cell.FuncOr3
+	case "xor":
+		two, three = cell.FuncXor2, -1
+	default:
+		return nil, fmt.Errorf("verilog: unknown base %q", base)
+	}
+	// Balanced reduction.
+	cur := fanin
+	for len(cur) > 1 {
+		var next []*netlist.SeqNode
+		i := 0
+		for i+1 < len(cur) {
+			if len(cur) == 3 && three >= 0 && i == 0 {
+				next = append(next, b.Gate(gname(), pick(three), cur[0], cur[1], cur[2]))
+				i += 3
+				continue
+			}
+			next = append(next, b.Gate(gname(), pick(two), cur[i], cur[i+1]))
+			i += 2
+		}
+		if i < len(cur) {
+			next = append(next, cur[i])
+		}
+		cur = next
+	}
+	out := cur[0]
+	if inverted {
+		return b.Gate(gname(), pick(cell.FuncInv), out), nil
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// s27 is the smallest ISCAS89 benchmark, in the distribution's format.
+const s27 = `
+// ISCAS89 s27
+module s27(CK,G0,G1,G17,G2,G3);
+input CK,G0,G1,G2,G3;
+output G17;
+
+  wire G5,G10,G6,G11,G7,G13,G14,G8,G15,G12,G16,G9;
+
+  dff DFF_0(CK,G5,G10);
+  dff DFF_1(CK,G6,G11);
+  dff DFF_2(CK,G7,G13);
+  not NOT_0(G14,G0);
+  not NOT_1(G17,G11);
+  and AND2_0(G8,G14,G6);
+  or OR2_0(G15,G12,G8);
+  or OR2_1(G16,G3,G8);
+  nand NAND2_0(G10,G14,G11);
+  nor NOR2_0(G9,G16,G15);
+  nor NOR2_1(G11,G5,G9);
+  nor NOR2_2(G12,G1,G7);
+  nor NOR2_3(G13,G2,G12);
+endmodule
+`
+
+func TestParseS27(t *testing.T) {
+	lib := cell.Default(1.0)
+	c, err := ParseString(s27, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "s27" {
+		t.Errorf("name = %q", c.Name)
+	}
+	// CK is a clock, not a data PI.
+	if got := len(c.PIs); got != 4 {
+		t.Errorf("PIs = %d, want 4", got)
+	}
+	if got := len(c.POs); got != 1 {
+		t.Errorf("POs = %d, want 1", got)
+	}
+	if got := len(c.FFs); got != 3 {
+		t.Errorf("FFs = %d, want 3", got)
+	}
+	// 10 primitive gates, all with direct library cells.
+	gates := 0
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.SeqGate {
+			gates++
+		}
+	}
+	if gates != 10 {
+		t.Errorf("gates = %d, want 10", gates)
+	}
+}
+
+func TestParsedCircuitCuts(t *testing.T) {
+	lib := cell.Default(1.0)
+	c, err := ParseString(s27, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := c.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 flops + 4 registered PIs = 7 cloud inputs.
+	if got := len(cut.Inputs); got != 7 {
+		t.Errorf("cut inputs = %d, want 7", got)
+	}
+	if err := netlist.InitialPlacement(cut).Validate(cut); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideGateDecomposition(t *testing.T) {
+	lib := cell.Default(1.0)
+	src := `
+module wide(CK,a,b,c,d,e,y);
+input CK,a,b,c,d,e;
+output y;
+  and A1(y,a,b,c,d,e);
+endmodule
+`
+	c, err := ParseString(src, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 5-input AND becomes a tree of AND2/AND3 cells.
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.SeqGate && n.Cell.Func.Arity() > 3 {
+			t.Errorf("gate %s kept arity %d", n.Name, n.Cell.Func.Arity())
+		}
+	}
+}
+
+func TestExactNandArities(t *testing.T) {
+	lib := cell.Default(1.0)
+	src := `
+module m(CK,a,b,c,d,y);
+input CK,a,b,c,d;
+output y;
+  nand N1(y,a,b,c,d);
+endmodule
+`
+	c, err := ParseString(src, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.SeqGate && n.Cell.Func == cell.FuncNand4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("4-input nand should map to NAND4 directly")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lib := cell.Default(1.0)
+	cases := map[string]string{
+		"no module":    `foo(a);`,
+		"unterminated": `module m(a); input a;`,
+		"unknown prim": "module m(CK,a,y);\ninput CK,a;\noutput y;\n  frob F(y,a);\nendmodule",
+		"undriven out": "module m(CK,a,y);\ninput CK,a;\noutput y;\n  not N(x,a);\nendmodule",
+		"double drive": "module m(CK,a,y);\ninput CK,a;\noutput y;\n  not N1(y,a);\n  not N2(y,a);\nendmodule",
+		"comb cycle":   "module m(CK,a,y);\ninput CK,a;\noutput y;\n  not N1(y,x);\n  not N2(x,y);\nendmodule",
+		"bad dff":      "module m(CK,a,y);\ninput CK,a;\noutput y;\n  dff D(CK,y);\nendmodule",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src, lib); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	lib := cell.Default(1.0)
+	src := `
+/* header
+   block */
+module m(CK,a,y); // trailing
+input CK,a; output y;
+  not N(y,a); /* inline */
+endmodule
+`
+	if _, err := ParseString(src, lib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := cell.Default(1.0)
+	c1, err := ParseString(s27, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(sb.String(), lib)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+	if len(c2.FFs) != len(c1.FFs) {
+		t.Errorf("FFs: %d vs %d", len(c2.FFs), len(c1.FFs))
+	}
+	if len(c2.PIs) != len(c1.PIs) {
+		t.Errorf("PIs: %d vs %d", len(c2.PIs), len(c1.PIs))
+	}
+	if len(c2.POs) != len(c1.POs) {
+		t.Errorf("POs: %d vs %d", len(c2.POs), len(c1.POs))
+	}
+	if _, err := c2.Cut(); err != nil {
+		t.Errorf("round-tripped circuit does not cut: %v", err)
+	}
+}
+
+func TestWriteDecomposesComplexCells(t *testing.T) {
+	lib := cell.Default(1.0)
+	b := netlist.NewSeqBuilder("cx", lib)
+	a := b.PI("a")
+	c := b.PI("c")
+	s := b.PI("s")
+	m := b.Gate("m", lib.MustCell(cell.FuncMux2, 1), a, c, s)
+	aoi := b.Gate("z", lib.MustCell(cell.FuncAoi21, 1), a, c, m)
+	b.PO("y", aoi)
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"and", "nor", "not", "or"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in decomposition:\n%s", want, out)
+		}
+	}
+	if _, err := ParseString(out, lib); err != nil {
+		t.Fatalf("decomposed output does not re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("ff0/Q"); got != "ff0_Q" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("9lives"); got != "n9lives" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

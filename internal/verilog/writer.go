@@ -1,0 +1,150 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// Write emits the flip-flop based circuit in the same structural subset
+// Parse reads: primitive gates plus dff(CK, Q, D) instances. Complex
+// cells (AOI/OAI/MUX) are decomposed into primitive equivalents, so a
+// round trip preserves logic function though not necessarily cell
+// bindings.
+func Write(w io.Writer, c *netlist.SeqCircuit) error {
+	var b strings.Builder
+	net := func(n *netlist.SeqNode) string { return sanitize(n.Name) }
+
+	// A primary output can usually expose its driver's net directly; an
+	// aliasing buffer is only needed when the driver is a flop or PI, or
+	// when several outputs share one driver. This keeps write→parse a
+	// fixpoint instead of accreting buffers.
+	poNet := make(map[*netlist.SeqNode]string, len(c.POs))
+	aliased := make(map[*netlist.SeqNode]bool, len(c.POs))
+	usedOut := map[string]bool{}
+	for _, po := range c.POs {
+		drv := po.Fanin[0]
+		name := net(po)
+		// A gate-driven output whose name is the driver's (or the
+		// parser's generated po_<driver>) exposes the driver net
+		// directly; meaningful names keep an aliasing buffer.
+		anonymous := name == net(drv) || name == "po_"+net(drv)
+		if drv.Kind == netlist.SeqGate && anonymous && !usedOut[net(drv)] {
+			poNet[po] = net(drv)
+			usedOut[net(drv)] = true
+			continue
+		}
+		poNet[po] = name
+		aliased[po] = true
+		usedOut[name] = true
+	}
+
+	var ports []string
+	ports = append(ports, "CK")
+	for _, pi := range c.PIs {
+		ports = append(ports, net(pi))
+	}
+	for _, po := range c.POs {
+		ports = append(ports, poNet[po])
+	}
+	fmt.Fprintf(&b, "module %s(%s);\n", sanitize(c.Name), strings.Join(ports, ","))
+	fmt.Fprintf(&b, "input CK")
+	for _, pi := range c.PIs {
+		fmt.Fprintf(&b, ",%s", net(pi))
+	}
+	fmt.Fprintf(&b, ";\n")
+	if len(c.POs) > 0 {
+		names := make([]string, len(c.POs))
+		for i, po := range c.POs {
+			names[i] = poNet[po]
+		}
+		fmt.Fprintf(&b, "output %s;\n", strings.Join(names, ","))
+	}
+
+	aux := 0
+	auxNet := func() string {
+		aux++
+		return fmt.Sprintf("aux_%d", aux)
+	}
+
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case netlist.SeqFF:
+			fmt.Fprintf(&b, "  dff %s(CK,%s,%s);\n", net(n), net(n), net(n.Fanin[0]))
+		case netlist.SeqGate:
+			emitGate(&b, n, net, auxNet)
+		case netlist.SeqPO:
+			if aliased[n] {
+				fmt.Fprintf(&b, "  buf %s_drv(%s,%s);\n", net(n), poNet[n], net(n.Fanin[0]))
+			}
+		}
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// emitGate writes one gate, decomposing non-primitive cells.
+func emitGate(b *strings.Builder, n *netlist.SeqNode, net func(*netlist.SeqNode) string, auxNet func() string) {
+	args := func(out string, ins ...string) string {
+		return out + "," + strings.Join(ins, ",")
+	}
+	in := make([]string, len(n.Fanin))
+	for i, f := range n.Fanin {
+		in[i] = net(f)
+	}
+	out := net(n)
+	prim := map[cell.Function]string{
+		cell.FuncInv: "not", cell.FuncBuf: "buf",
+		cell.FuncNand2: "nand", cell.FuncNand3: "nand", cell.FuncNand4: "nand",
+		cell.FuncNor2: "nor", cell.FuncNor3: "nor", cell.FuncNor4: "nor",
+		cell.FuncAnd2: "and", cell.FuncAnd3: "and",
+		cell.FuncOr2: "or", cell.FuncOr3: "or",
+		cell.FuncXor2: "xor", cell.FuncXnor2: "xnor",
+	}
+	if p, ok := prim[n.Cell.Func]; ok {
+		fmt.Fprintf(b, "  %s %s(%s);\n", p, out, args(out, in...))
+		return
+	}
+	switch n.Cell.Func {
+	case cell.FuncAoi21: // !(a·b + c)
+		t := auxNet()
+		fmt.Fprintf(b, "  and %s_a(%s,%s,%s);\n", out, t, in[0], in[1])
+		fmt.Fprintf(b, "  nor %s_n(%s,%s,%s);\n", out, out, t, in[2])
+	case cell.FuncOai21: // !((a+b)·c)
+		t := auxNet()
+		fmt.Fprintf(b, "  or %s_o(%s,%s,%s);\n", out, t, in[0], in[1])
+		fmt.Fprintf(b, "  nand %s_n(%s,%s,%s);\n", out, out, t, in[2])
+	case cell.FuncMux2: // s ? b : a
+		ns, ta, tb := auxNet(), auxNet(), auxNet()
+		fmt.Fprintf(b, "  not %s_i(%s,%s);\n", out, ns, in[2])
+		fmt.Fprintf(b, "  and %s_a(%s,%s,%s);\n", out, ta, in[0], ns)
+		fmt.Fprintf(b, "  and %s_b(%s,%s,%s);\n", out, tb, in[1], in[2])
+		fmt.Fprintf(b, "  or %s_o(%s,%s,%s);\n", out, out, ta, tb)
+	default:
+		// Fall back to a buffer of the first input; unreachable for
+		// library-built circuits.
+		fmt.Fprintf(b, "  buf %s(%s,%s);\n", out, out, in[0])
+	}
+}
+
+// sanitize maps arbitrary node names into the subset's identifier space.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	out := b.String()
+	if out == "" || out[0] >= '0' && out[0] <= '9' {
+		out = "n" + out
+	}
+	return out
+}

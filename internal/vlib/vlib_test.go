@@ -1,0 +1,117 @@
+package vlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/core"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+func corpus(t *testing.T, n int) []*netlist.Circuit {
+	t.Helper()
+	lib := cell.Default(1.0)
+	var out []*netlist.Circuit
+	for seed := int64(0); seed < int64(n); seed++ {
+		rng := rand.New(rand.NewSource(seed + 900))
+		c, err := bench.RandomCloud("vl", lib, rng, bench.RandomSpec{
+			Inputs:   3 + rng.Intn(3),
+			Outputs:  2 + rng.Intn(3),
+			Gates:    20 + rng.Intn(40),
+			Locality: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestVariantsRunAndAreLegal(t *testing.T) {
+	for i, c := range corpus(t, 8) {
+		scheme := bench.SchemeFor(c, sta.DefaultOptions(c.Lib))
+		for _, v := range []Variant{NVL, EVL, RVL} {
+			res, err := Retime(c, Options{Scheme: scheme, EDLCost: 1, PostSwap: true}, v)
+			if err != nil {
+				t.Fatalf("circuit %d %v: %v", i, v, err)
+			}
+			if err := res.Placement.Validate(res.Circuit); err != nil {
+				t.Fatalf("circuit %d %v: %v", i, v, err)
+			}
+			if res.SlaveCount <= 0 || res.TotalArea <= 0 {
+				t.Errorf("circuit %d %v: degenerate result %+v", i, v, res)
+			}
+			// The flow must not mutate the caller's circuit.
+			if res.Circuit == c {
+				t.Fatal("flow operated on the input circuit instead of a clone")
+			}
+		}
+	}
+}
+
+func TestEVLKeepsAllEDWithoutSwap(t *testing.T) {
+	c := corpus(t, 1)[0]
+	scheme := bench.SchemeFor(c, sta.DefaultOptions(c.Lib))
+	res, err := Retime(c, Options{Scheme: scheme, EDLCost: 2}, EVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the post-swap the decoupled flow keeps every master
+	// error-detecting (its initial types).
+	if res.EDCount != len(res.Circuit.Outputs) {
+		t.Errorf("EVL without swap: ED = %d, want all %d", res.EDCount, len(res.Circuit.Outputs))
+	}
+}
+
+func TestPostSwapNeverIncreasesED(t *testing.T) {
+	for i, c := range corpus(t, 6) {
+		scheme := bench.SchemeFor(c, sta.DefaultOptions(c.Lib))
+		noswap, err := Retime(c, Options{Scheme: scheme, EDLCost: 2}, EVL)
+		if err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		swap, err := Retime(c, Options{Scheme: scheme, EDLCost: 2, PostSwap: true}, EVL)
+		if err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		if swap.EDCount > noswap.EDCount {
+			t.Errorf("circuit %d: post-swap increased ED %d -> %d", i, noswap.EDCount, swap.EDCount)
+		}
+		if swap.TotalArea > noswap.TotalArea+1e-9 {
+			t.Errorf("circuit %d: post-swap increased area %g -> %g", i, noswap.TotalArea, swap.TotalArea)
+		}
+	}
+}
+
+func TestGRARBeatsOrMatchesVLOnAverage(t *testing.T) {
+	// The paper's central comparison (Table V): G-RAR ≥ RVL-RAR on
+	// aggregate total area.
+	var grar, rvl float64
+	for i, c := range corpus(t, 10) {
+		scheme := bench.SchemeFor(c, sta.DefaultOptions(c.Lib))
+		opt := core.Options{Scheme: scheme, EDLCost: 2}
+		g, err := core.Retime(c, opt, core.ApproachGRAR)
+		if err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		v, err := Retime(c, Options{Scheme: scheme, EDLCost: 2, PostSwap: true}, RVL)
+		if err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		grar += g.TotalArea
+		rvl += v.TotalArea
+	}
+	if grar > rvl*1.02 {
+		t.Errorf("G-RAR aggregate area %g worse than RVL %g", grar, rvl)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if NVL.String() != "nvl-rar" || EVL.String() != "evl-rar" || RVL.String() != "rvl-rar" {
+		t.Error("variant names wrong")
+	}
+}
