@@ -1,0 +1,31 @@
+# Verification targets for the relatch reproduction.
+#
+#   make check      vet + build + race-enabled tests + fuzz smoke
+#   make test       plain test suite (the tier-1 gate)
+#   make fuzz-smoke short fuzzing pass over the Verilog parser
+#   make fuzz       longer fuzzing session (override FUZZTIME)
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check test vet build race fuzz-smoke fuzz
+
+check: vet build race fuzz-smoke
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=5m ./internal/verilog/

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	benchgen -out ./benchmarks [-benchmarks s1196,Plasma]
+//	benchgen -out ./benchmarks [-benchmarks s1196,Plasma] [-timeout 1m]
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
+// interrupt.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -22,43 +27,64 @@ import (
 func main() {
 	out := flag.String("out", "benchmarks", "output directory")
 	names := flag.String("benchmarks", "", "comma-separated subset (default: all)")
+	timeout := flag.Duration("timeout", 0, "abort generation after this duration (0 = none)")
 	flag.Parse()
 
 	want := map[string]bool{}
+	matched := map[string]bool{}
 	if *names != "" {
 		for _, n := range strings.Split(*names, ",") {
 			want[strings.TrimSpace(n)] = true
 		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatalf("%v", err)
+		fatalf(1, "%v", err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	lib := cell.Default(1.0)
 	for _, p := range bench.ISCAS89 {
 		if len(want) > 0 && !want[p.Name] {
 			continue
 		}
+		matched[p.Name] = true
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: stopped before %s: %v\n", p.Name, err)
+			os.Exit(3)
+		}
 		seq, err := p.BuildSeq(lib)
 		if err != nil {
-			fatalf("%s: %v", p.Name, err)
+			fatalf(1, "%s: %v", p.Name, err)
 		}
 		path := filepath.Join(*out, p.Name+".v")
 		f, err := os.Create(path)
 		if err != nil {
-			fatalf("%v", err)
+			fatalf(1, "%v", err)
 		}
 		if err := verilog.Write(f, seq); err != nil {
 			f.Close()
-			fatalf("%s: %v", p.Name, err)
+			fatalf(1, "%s: %v", p.Name, err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("%v", err)
+			fatalf(1, "%v", err)
 		}
 		fmt.Printf("wrote %s (%d flops, %d gates)\n", path, len(seq.FFs), seq.GateCount())
 	}
+	for n := range want {
+		if !matched[n] {
+			fatalf(2, "unknown benchmark %q", n)
+		}
+	}
 }
 
-func fatalf(format string, args ...interface{}) {
+func fatalf(code int, format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -7,17 +7,25 @@
 //
 //	paper [-benchmarks s1196,s1423,...] [-overheads 0.5,1,2]
 //	      [-tables 1,2,...] [-cycles N] [-format text|md|csv] [-quiet]
+//	      [-method auto|simplex|ssp] [-timeout 10m]
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
+// interrupt.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"relatch/internal/experiments"
+	"relatch/internal/flow"
 	"relatch/internal/report"
 )
 
@@ -27,6 +35,8 @@ func main() {
 	tables := flag.String("tables", "", "comma-separated table numbers 1-9 (default: all, plus the summary)")
 	cycles := flag.Int("cycles", 1000, "error-rate simulation cycles (scaled down on large circuits)")
 	format := flag.String("format", "text", "output format: text, md or csv")
+	method := flag.String("method", "auto", "flow solver: auto (simplex with certified ssp fallback), simplex or ssp")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -38,18 +48,18 @@ func main() {
 		for _, s := range strings.Split(*overheads, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
-				fatalf("bad overhead %q: %v", s, err)
+				usagef("bad overhead %q: %v", s, err)
 			}
 			cfg.Overheads = append(cfg.Overheads, v)
 		}
 	}
+	m, err := flow.ParseMethod(*method)
+	if err != nil {
+		usagef("%v", err)
+	}
+	cfg.Method = m
 	if !*quiet {
 		cfg.Progress = os.Stderr
-	}
-
-	suite, err := experiments.Run(cfg)
-	if err != nil {
-		fatalf("%v", err)
 	}
 
 	want := map[int]bool{}
@@ -57,10 +67,27 @@ func main() {
 		for _, s := range strings.Split(*tables, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 || n > 9 {
-				fatalf("bad table number %q", s)
+				usagef("bad table number %q", s)
 			}
 			want[n] = true
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	suite, err := experiments.RunCtx(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			os.Exit(3)
+		}
+		os.Exit(1)
 	}
 
 	out := os.Stdout
@@ -87,7 +114,7 @@ func emit(w io.Writer, t *report.Table, format string) {
 	}
 }
 
-func fatalf(format string, args ...interface{}) {
+func usagef(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -7,12 +7,18 @@
 //
 //	rar -bench s1423 -approach grar -c 1.0
 //	rar -verilog s27.v -approach rvl -c 2.0 -dump
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
+// interrupt.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -28,17 +34,28 @@ import (
 	"relatch/internal/vlib"
 )
 
+// usageError marks errors caused by bad invocation rather than a failed
+// run; main maps them to exit code 2.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...interface{}) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
 	benchName := flag.String("bench", "", "built-in benchmark name (see -list)")
 	verilogPath := flag.String("verilog", "", "structural Verilog netlist to retime instead")
 	list := flag.Bool("list", false, "list built-in benchmarks and exit")
 	approach := flag.String("approach", "grar", "retiming approach: grar, base, nvl, evl or rvl")
 	overhead := flag.Float64("c", 1.0, "EDL overhead factor c")
-	method := flag.String("method", "simplex", "flow solver: simplex or ssp")
+	method := flag.String("method", "auto", "flow solver: auto (simplex with certified ssp fallback), simplex or ssp")
 	gateModel := flag.Bool("gate-model", false, "optimize with the conservative gate-delay model")
 	dump := flag.Bool("dump", false, "dump the slave-latch placement")
 	instrument := flag.String("instrument", "", "write the error-detection-instrumented netlist (Verilog) to this file")
 	clusterSize := flag.Int("cluster", 8, "error-detecting latch cluster size for -instrument")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -48,44 +65,89 @@ func main() {
 		return
 	}
 
-	lib := cell.Default(*overhead)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, options{
+		benchName:   *benchName,
+		verilogPath: *verilogPath,
+		approach:    *approach,
+		overhead:    *overhead,
+		method:      *method,
+		gateModel:   *gateModel,
+		dump:        *dump,
+		instrument:  *instrument,
+		clusterSize: *clusterSize,
+	})
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rar: %v\n", err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		os.Exit(3)
+	case errors.As(err, &usageError{}):
+		os.Exit(2)
+	default:
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	benchName, verilogPath string
+	approach               string
+	overhead               float64
+	method                 string
+	gateModel              bool
+	dump                   bool
+	instrument             string
+	clusterSize            int
+}
+
+func run(ctx context.Context, o options) error {
+	lib := cell.Default(o.overhead)
 	var c *netlist.Circuit
 	var seq *netlist.SeqCircuit
 	var scheme clocking.Scheme
 	switch {
-	case *benchName != "":
-		prof, ok := bench.ProfileByName(*benchName)
+	case o.benchName != "":
+		prof, ok := bench.ProfileByName(o.benchName)
 		if !ok {
-			fatalf("unknown benchmark %q (try -list)", *benchName)
+			return usagef("unknown benchmark %q (try -list)", o.benchName)
 		}
 		var err error
 		if seq, err = prof.BuildSeq(lib); err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if c, scheme, err = prof.CutAndCalibrate(seq); err != nil {
-			fatalf("%v", err)
+			return err
 		}
-	case *verilogPath != "":
-		f, err := os.Open(*verilogPath)
+	case o.verilogPath != "":
+		f, err := os.Open(o.verilogPath)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		seq, err = verilog.Parse(f, lib)
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if c, err = seq.Cut(); err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		scheme = bench.SchemeFor(c, sta.DefaultOptions(lib))
 	default:
-		fatalf("need -bench or -verilog (try -list)")
+		return usagef("need -bench or -verilog (try -list)")
 	}
 
-	m := flow.MethodSimplex
-	if *method == "ssp" {
-		m = flow.MethodSSP
+	m, err := flow.ParseMethod(o.method)
+	if err != nil {
+		return usagef("%v", err)
 	}
 
 	fmt.Printf("circuit %s: %d gates, %d boundary registers, %s\n",
@@ -93,34 +155,34 @@ func main() {
 
 	var placement *netlist.Placement
 	var edMasters map[int]bool
-	switch *approach {
+	switch o.approach {
 	case "grar", "base":
-		opt := core.Options{Scheme: scheme, EDLCost: *overhead, Method: m}
-		if *gateModel {
+		opt := core.Options{Scheme: scheme, EDLCost: o.overhead, Method: m}
+		if o.gateModel {
 			opt.TimingModel = sta.ModelGate
 		}
 		ap := core.ApproachGRAR
-		if *approach == "base" {
+		if o.approach == "base" {
 			ap = core.ApproachBase
 		}
-		res, err := core.Retime(c, opt, ap)
+		res, err := core.RetimeCtx(ctx, c, opt, ap)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		fmt.Printf("%s: %d slave latches, %d masters, %d error-detecting\n",
 			ap, res.SlaveCount, res.MasterCount, res.EDCount)
-		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v\n",
-			res.SeqArea, res.TotalArea, res.Runtime)
+		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v (solver %v%s)\n",
+			res.SeqArea, res.TotalArea, res.Runtime, res.Solver, fallbackNote(res.SolverFallback, res.FallbackReason))
 		if len(res.Violations) > 0 {
 			fmt.Printf("WARNING: %d residual timing violations\n", len(res.Violations))
 		}
 		placement = res.Placement
 		edMasters = res.EDMasters
 	case "nvl", "evl", "rvl":
-		variant := map[string]vlib.Variant{"nvl": vlib.NVL, "evl": vlib.EVL, "rvl": vlib.RVL}[*approach]
-		res, err := vlib.Retime(c, vlib.Options{Scheme: scheme, EDLCost: *overhead, Method: m, PostSwap: true}, variant)
+		variant := map[string]vlib.Variant{"nvl": vlib.NVL, "evl": vlib.EVL, "rvl": vlib.RVL}[o.approach]
+		res, err := vlib.RetimeCtx(ctx, c, vlib.Options{Scheme: scheme, EDLCost: o.overhead, Method: m, PostSwap: true}, variant)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		fmt.Printf("%v: %d slave latches, %d masters, %d error-detecting (%d swaps, %d upsized)\n",
 			variant, res.SlaveCount, res.MasterCount, res.EDCount, res.Swaps, res.Upsized)
@@ -129,33 +191,33 @@ func main() {
 		placement = res.Placement
 		edMasters = res.EDMasters
 	default:
-		fatalf("unknown approach %q", *approach)
+		return usagef("unknown approach %q", o.approach)
 	}
 
-	if *instrument != "" {
+	if o.instrument != "" {
 		names := edFlopNames(c, edMasters)
 		if len(names) == 0 {
 			fmt.Println("no error-detecting masters; writing the design uninstrumented")
 		}
-		inst, err := edl.Instrument(seq, names, *clusterSize)
+		inst, err := edl.Instrument(seq, names, o.clusterSize)
 		if err != nil {
-			fatalf("instrument: %v", err)
+			return fmt.Errorf("instrument: %w", err)
 		}
-		f, err := os.Create(*instrument)
+		f, err := os.Create(o.instrument)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if err := verilog.Write(f, inst); err != nil {
 			f.Close()
-			fatalf("%v", err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("wrote instrumented netlist with %d detectors to %s\n", len(names), *instrument)
+		fmt.Printf("wrote instrumented netlist with %d detectors to %s\n", len(names), o.instrument)
 	}
 
-	if *dump && placement != nil {
+	if o.dump && placement != nil {
 		fmt.Println("slave latches at the outputs of:")
 		drivers := placement.LatchedDrivers()
 		names := make([]string, 0, len(drivers))
@@ -167,6 +229,14 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 	}
+	return nil
+}
+
+func fallbackNote(fellBack bool, reason string) string {
+	if !fellBack {
+		return ""
+	}
+	return fmt.Sprintf(", fell back from simplex: %s", reason)
 }
 
 // edFlopNames maps error-detecting cut endpoints back to the sequential
@@ -182,9 +252,4 @@ func edFlopNames(c *netlist.Circuit, ed map[int]bool) []string {
 	}
 	sort.Strings(names)
 	return names
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "rar: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -17,6 +17,20 @@ import (
 // master-latch boundary pairs (cut-cloud form), so the CPU drops into the
 // same retiming flows as every other benchmark.
 func BuildPlasma(lib *cell.Library, p Profile) (*netlist.SeqCircuit, error) {
+	if p.PIRegs < 1 {
+		return nil, fmt.Errorf("bench: profile %s needs at least one primary input (PIRegs = %d)", p.Name, p.PIRegs)
+	}
+	// Validate the caller-supplied library up front: every cell the word
+	// builder picks must exist at drive 1, so the MustCell calls below are
+	// provably safe after this check.
+	for _, f := range []cell.Function{
+		cell.FuncInv, cell.FuncBuf, cell.FuncAnd2, cell.FuncOr2,
+		cell.FuncXor2, cell.FuncMux2, cell.FuncNor2,
+	} {
+		if _, err := lib.Cell(f, 1); err != nil {
+			return nil, fmt.Errorf("bench: profile %s: %w", p.Name, err)
+		}
+	}
 	w := &wordBuilder{
 		b:   netlist.NewSeqBuilder(p.Name, lib),
 		lib: lib,
@@ -211,6 +225,9 @@ func BuildPlasma(lib *cell.Library, p Profile) (*netlist.SeqCircuit, error) {
 		w.b.PO(fmt.Sprintf("out%d", i), src)
 	}
 
+	if w.err != nil {
+		return nil, w.err
+	}
 	return w.b.Build()
 }
 
@@ -224,12 +241,23 @@ type reg struct {
 }
 
 // wordBuilder layers word-level construction over the netlist builder.
+// Construction errors (register width mismatches) accumulate in err — the
+// same pattern netlist.Builder uses — and surface from BuildPlasma
+// instead of panicking mid-build.
 type wordBuilder struct {
 	b       *netlist.SeqBuilder
 	lib     *cell.Library
 	n       int
 	gndN    *netlist.SeqNode
 	gndSeed *netlist.SeqNode
+	err     error
+}
+
+// fail records the first construction error.
+func (w *wordBuilder) fail(format string, args ...interface{}) {
+	if w.err == nil {
+		w.err = fmt.Errorf(format, args...)
+	}
 }
 
 func (w *wordBuilder) name(op string) string {
@@ -278,7 +306,8 @@ func (w *wordBuilder) register(name string, width int) reg {
 		q: q,
 		setD: func(d word) {
 			if len(d) != width {
-				panic(fmt.Sprintf("bench: register %s width %d, got %d", name, width, len(d)))
+				w.fail("bench: register %s width %d, got %d", name, width, len(d))
+				return
 			}
 			for i := range d {
 				w.b.SetD(q[i], d[i])

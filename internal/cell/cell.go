@@ -78,52 +78,53 @@ func (f Function) Arity() int {
 }
 
 // Eval computes the boolean output of the function for the given inputs.
-// It panics if len(in) does not match the function arity; netlist
-// construction validates arity so simulation can rely on it.
-func (f Function) Eval(in []bool) bool {
+// Arity mismatches and unimplemented functions return errors rather than
+// panicking: Eval sits on the simulation hot path for externally supplied
+// netlists, so malformed inputs must degrade to a diagnosis, not a crash.
+func (f Function) Eval(in []bool) (bool, error) {
 	if len(in) != f.Arity() {
-		panic(fmt.Sprintf("cell: %v expects %d inputs, got %d", f, f.Arity(), len(in)))
+		return false, fmt.Errorf("cell: %v expects %d inputs, got %d", f, f.Arity(), len(in))
 	}
 	switch f {
 	case FuncInv:
-		return !in[0]
+		return !in[0], nil
 	case FuncBuf:
-		return in[0]
+		return in[0], nil
 	case FuncNand2:
-		return !(in[0] && in[1])
+		return !(in[0] && in[1]), nil
 	case FuncNor2:
-		return !(in[0] || in[1])
+		return !(in[0] || in[1]), nil
 	case FuncAnd2:
-		return in[0] && in[1]
+		return in[0] && in[1], nil
 	case FuncOr2:
-		return in[0] || in[1]
+		return in[0] || in[1], nil
 	case FuncXor2:
-		return in[0] != in[1]
+		return in[0] != in[1], nil
 	case FuncXnor2:
-		return in[0] == in[1]
+		return in[0] == in[1], nil
 	case FuncNand3:
-		return !(in[0] && in[1] && in[2])
+		return !(in[0] && in[1] && in[2]), nil
 	case FuncNor3:
-		return !(in[0] || in[1] || in[2])
+		return !(in[0] || in[1] || in[2]), nil
 	case FuncAnd3:
-		return in[0] && in[1] && in[2]
+		return in[0] && in[1] && in[2], nil
 	case FuncOr3:
-		return in[0] || in[1] || in[2]
+		return in[0] || in[1] || in[2], nil
 	case FuncAoi21:
-		return !(in[0] && in[1] || in[2])
+		return !(in[0] && in[1] || in[2]), nil
 	case FuncOai21:
-		return !((in[0] || in[1]) && in[2])
+		return !((in[0] || in[1]) && in[2]), nil
 	case FuncMux2:
 		if in[2] {
-			return in[1]
+			return in[1], nil
 		}
-		return in[0]
+		return in[0], nil
 	case FuncNand4:
-		return !(in[0] && in[1] && in[2] && in[3])
+		return !(in[0] && in[1] && in[2] && in[3]), nil
 	case FuncNor4:
-		return !(in[0] || in[1] || in[2] || in[3])
+		return !(in[0] || in[1] || in[2] || in[3]), nil
 	}
-	panic(fmt.Sprintf("cell: Eval not implemented for %v", f))
+	return false, fmt.Errorf("cell: Eval not implemented for %v", f)
 }
 
 // Cell is one combinational standard cell (a function at a drive strength).
@@ -401,8 +402,11 @@ func (l *Library) Cell(f Function, drive int) (*Cell, error) {
 	return nil, fmt.Errorf("cell: library %s has no %v at drive X%d", l.Name, f, drive)
 }
 
-// MustCell is Cell but panics on a missing cell; the default library
-// provides every function at drives 1, 2 and 4.
+// MustCell is Cell but panics on a missing cell. The panic is a provably
+// internal invariant, not a user-input path: every library this package
+// constructs (Default, VirtualLibrary) provides every function at drives
+// 1, 2 and 4, and callers handling externally chosen (function, drive)
+// pairs must use Cell instead — the verilog elaborator does.
 func (l *Library) MustCell(f Function, drive int) *Cell {
 	c, err := l.Cell(f, drive)
 	if err != nil {

@@ -58,20 +58,24 @@ func TestFunctionEvalTruthTables(t *testing.T) {
 			for i := range in {
 				in[i] = bits>>i&1 == 1
 			}
-			if got := f.Eval(in); got != want(in) {
+			got, err := f.Eval(in)
+			if err != nil {
+				t.Fatalf("%v.Eval(%v): %v", f, in, err)
+			}
+			if got != want(in) {
 				t.Errorf("%v.Eval(%v) = %v, want %v", f, in, got, want(in))
 			}
 		}
 	}
 }
 
-func TestFunctionEvalPanicsOnBadArity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Eval with wrong arity did not panic")
-		}
-	}()
-	FuncNand2.Eval([]bool{true})
+func TestFunctionEvalBadArityReturnsError(t *testing.T) {
+	if _, err := FuncNand2.Eval([]bool{true}); err == nil {
+		t.Fatal("Eval with wrong arity did not return an error")
+	}
+	if _, err := Function(999).Eval(nil); err == nil {
+		t.Fatal("Eval of unknown function did not return an error")
+	}
 }
 
 func TestDefaultLibraryCompleteness(t *testing.T) {

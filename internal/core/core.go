@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,14 @@ type Result struct {
 	// as pessimistic as the evaluation model).
 	Violations []sta.Violation
 
+	// Solver reports the flow solver that produced the accepted retiming;
+	// SolverFallback / FallbackReason / SolverCertified mirror the
+	// hardened solve's flow.Report.
+	Solver          flow.Method
+	SolverFallback  bool
+	FallbackReason  string
+	SolverCertified bool
+
 	Runtime time.Duration
 }
 
@@ -135,11 +144,25 @@ func slaveLatch(c *netlist.Circuit, opt Options) cell.Latch {
 
 // Retime runs the selected approach on the circuit.
 func Retime(c *netlist.Circuit, opt Options, approach Approach) (*Result, error) {
+	return RetimeCtx(context.Background(), c, opt, approach)
+}
+
+// RetimeCtx is Retime under a context: the flow solve — the long pole of
+// a retiming run — observes cancellation and deadline expiry, surfacing
+// them as errors wrapping ctx.Err().
+func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Approach) (*Result, error) {
 	start := time.Now()
+	if c == nil {
+		return nil, fmt.Errorf("core: nil circuit")
+	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
 	}
-	optTiming := sta.Analyze(c, staOptions(c, opt))
+	staOpt := staOptions(c, opt)
+	if err := staOpt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	optTiming := sta.Analyze(c, staOpt)
 	latch := slaveLatch(c, opt)
 	cfg := rgraph.Config{
 		Scheme:         opt.Scheme,
@@ -154,12 +177,16 @@ func Retime(c *netlist.Circuit, opt Options, approach Approach) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
 	}
-	sol, err := g.Solve(opt.Method)
+	sol, err := g.SolveCtx(ctx, opt.Method)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
 	}
 	res := evaluate(c, opt, approach, sol.Placement, latch)
 	res.Objective = sol.Objective
+	res.Solver = sol.Method
+	res.SolverFallback = sol.Fallback
+	res.FallbackReason = sol.FallbackReason
+	res.SolverCertified = sol.Certified
 	res.Classes = make(map[rgraph.TargetClass]int)
 	for _, cls := range g.Class {
 		res.Classes[cls]++

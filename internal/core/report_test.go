@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"relatch/internal/fig4"
+	"relatch/internal/flow"
+)
+
+// TestResultRecordsWinningSolver checks the hardened-solve bookkeeping:
+// a default (MethodAuto) run must report the concrete solver that
+// produced the accepted, certified solution — never the requested enum.
+func TestResultRecordsWinningSolver(t *testing.T) {
+	c := fig4.MustCircuit()
+	res, err := Retime(c, fig4Options(c), ApproachGRAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver == flow.MethodAuto {
+		t.Error("result records MethodAuto instead of the winning solver")
+	}
+	if !res.SolverCertified {
+		t.Error("accepted solution not certified")
+	}
+	if res.SolverFallback {
+		t.Errorf("unexpected fallback on a tiny instance: %s", res.FallbackReason)
+	}
+}
+
+// TestRetimeCtxCancelled checks the retimer surfaces a pre-cancelled
+// context instead of solving.
+func TestRetimeCtxCancelled(t *testing.T) {
+	c := fig4.MustCircuit()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RetimeCtx(ctx, c, fig4Options(c), ApproachGRAR); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+}

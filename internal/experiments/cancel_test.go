@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSweepCancellation cancels a Table VII-scale sweep (a mid-size
+// benchmark across the full overhead sweep) shortly after it starts and
+// requires it to stop promptly with an error wrapping context.Canceled —
+// the pipeline must not run the remaining circuits and overheads to
+// completion.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := RunCtx(ctx, Config{
+		Profiles:      []string{"s5378", "s9234", "s13207"},
+		Overheads:     []float64{0.5, 1.0, 2.0},
+		SimCycles:     1000,
+		MovableTrials: 24,
+	})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("cancelled sweep completed without error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+	// The uncancelled sweep takes tens of seconds; cancellation must cut
+	// it short. The bound is generous to stay robust on slow machines
+	// while still distinguishing "stopped mid-run" from "ran to the end".
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled sweep still took %v", elapsed)
+	}
+}
+
+// TestSweepDeadline exercises the same path through a deadline instead
+// of an explicit cancel.
+func TestSweepDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunCtx(ctx, Config{
+		Profiles:  []string{"s5378"},
+		Overheads: []float64{1.0},
+		SimCycles: 500,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -119,6 +120,14 @@ func (cfg *Config) simCycles(gates int) int {
 
 // Run executes the sweep.
 func Run(cfg Config) (*Suite, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: cancellation or deadline expiry stops
+// the sweep between stages (and mid-solve inside each stage, since every
+// stage threads the context down to its flow solver or event loop) and
+// surfaces as an error wrapping ctx.Err().
+func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	lib := cell.Default(1.0)
 	profiles := cfg.Profiles
 	if profiles == nil {
@@ -136,7 +145,7 @@ func Run(cfg Config) (*Suite, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
 		}
-		run, err := runCircuit(&cfg, lib, prof, overheads)
+		run, err := runCircuit(ctx, &cfg, lib, prof, overheads)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
@@ -145,8 +154,11 @@ func Run(cfg Config) (*Suite, error) {
 	return suite, nil
 }
 
-func runCircuit(cfg *Config, lib *cell.Library, prof bench.Profile, overheads []float64) (*CircuitRun, error) {
+func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.Profile, overheads []float64) (*CircuitRun, error) {
 	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep cancelled before %s: %w", prof.Name, err)
+	}
 	seq, err := prof.BuildSeq(lib)
 	if err != nil {
 		return nil, err
@@ -171,29 +183,32 @@ func runCircuit(cfg *Config, lib *cell.Library, prof bench.Profile, overheads []
 	cycles := cfg.simCycles(c.GateCount())
 
 	for _, ov := range overheads {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep cancelled before %s c=%g: %w", prof.Name, ov, err)
+		}
 		or := &OverheadRun{C: ov}
 		copt := core.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method}
 
-		if or.Base, err = core.Retime(c, copt, core.ApproachBase); err != nil {
+		if or.Base, err = core.RetimeCtx(ctx, c, copt, core.ApproachBase); err != nil {
 			return nil, err
 		}
-		if or.GRARPath, err = core.Retime(c, copt, core.ApproachGRAR); err != nil {
+		if or.GRARPath, err = core.RetimeCtx(ctx, c, copt, core.ApproachGRAR); err != nil {
 			return nil, err
 		}
 		gateOpt := copt
 		gateOpt.TimingModel = sta.ModelGate
-		if or.GRARGate, err = core.Retime(c, gateOpt, core.ApproachGRAR); err != nil {
+		if or.GRARGate, err = core.RetimeCtx(ctx, c, gateOpt, core.ApproachGRAR); err != nil {
 			return nil, err
 		}
 
 		vopt := vlib.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method, PostSwap: true}
-		if or.NVL, err = vlib.Retime(c, vopt, vlib.NVL); err != nil {
+		if or.NVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.NVL); err != nil {
 			return nil, err
 		}
-		if or.EVL, err = vlib.Retime(c, vopt, vlib.EVL); err != nil {
+		if or.EVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.EVL); err != nil {
 			return nil, err
 		}
-		if or.RVL, err = vlib.Retime(c, vopt, vlib.RVL); err != nil {
+		if or.RVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.RVL); err != nil {
 			return nil, err
 		}
 
@@ -204,7 +219,7 @@ func runCircuit(cfg *Config, lib *cell.Library, prof bench.Profile, overheads []
 				trials = 8
 			}
 		}
-		if or.Movable, err = vlib.RetimeMovableMaster(seq, scheme, vopt, trials); err != nil {
+		if or.Movable, err = vlib.RetimeMovableMasterCtx(ctx, seq, scheme, vopt, trials); err != nil {
 			return nil, err
 		}
 
@@ -220,22 +235,22 @@ func runCircuit(cfg *Config, lib *cell.Library, prof bench.Profile, overheads []
 		}
 
 		simCfg := sim.Config{Scheme: scheme, Latch: lib.BaseLatch, Cycles: cycles, Seed: prof.Seed}
-		if or.ErrBase, err = sim.ErrorRate(tm, or.Base.Placement, or.Base.EDMasters, simCfg); err != nil {
+		if or.ErrBase, err = sim.ErrorRateCtx(ctx, tm, or.Base.Placement, or.Base.EDMasters, simCfg); err != nil {
 			return nil, err
 		}
 		// The RVL run may have resized gates; simulate on its circuit.
 		rvlTm := sta.Analyze(or.RVL.Circuit, sta.DefaultOptions(lib))
-		if or.ErrRVL, err = sim.ErrorRate(rvlTm, or.RVL.Placement, or.RVL.EDMasters, simCfg); err != nil {
+		if or.ErrRVL, err = sim.ErrorRateCtx(ctx, rvlTm, or.RVL.Placement, or.RVL.EDMasters, simCfg); err != nil {
 			return nil, err
 		}
-		if or.ErrG, err = sim.ErrorRate(tm, or.GRARPath.Placement, or.GRARPath.EDMasters, simCfg); err != nil {
+		if or.ErrG, err = sim.ErrorRateCtx(ctx, tm, or.GRARPath.Placement, or.GRARPath.EDMasters, simCfg); err != nil {
 			return nil, err
 		}
 		reclaimTm := tm
 		if or.GReclaim != or.GRARPath {
 			reclaimTm = sta.Analyze(or.GReclaim.Circuit, sta.DefaultOptions(lib))
 		}
-		if or.ErrGReclaim, err = sim.ErrorRate(reclaimTm, or.GReclaim.Placement, or.GReclaim.EDMasters, simCfg); err != nil {
+		if or.ErrGReclaim, err = sim.ErrorRateCtx(ctx, reclaimTm, or.GReclaim.Placement, or.GReclaim.EDMasters, simCfg); err != nil {
 			return nil, err
 		}
 

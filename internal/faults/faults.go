@@ -1,0 +1,428 @@
+// Package faults is a fault-injection harness for the retiming pipeline:
+// it deliberately corrupts netlists, timing options, clock schemes and
+// flow networks, then drives the public API entry points and checks that
+// every corruption surfaces as a descriptive wrapped error — never a
+// panic and never a hang. The test suite runs the whole catalog with a
+// per-case deadline; the catalog is exported so new fault classes can be
+// registered next to the code they attack.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/core"
+	"relatch/internal/experiments"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/sim"
+	"relatch/internal/sta"
+	"relatch/internal/verilog"
+	"relatch/internal/vlib"
+)
+
+// Fault is one injected corruption paired with the API call it attacks.
+type Fault struct {
+	// Name identifies the case in test output.
+	Name string
+	// Class is the taxonomy bucket (e.g. "verilog/comb-cycle"); the suite
+	// asserts a minimum number of distinct classes stay covered.
+	Class string
+	// Inject performs the corruption and exercises the API under ctx,
+	// returning whatever the API returned. The harness fails the case if
+	// the call panics, hangs past the deadline, or returns nil.
+	Inject func(ctx context.Context) error
+}
+
+// Check runs one fault deadline-bounded and panic-guarded. It returns
+// nil when the API under attack correctly surfaced a descriptive error,
+// and an explanation of the robustness violation otherwise.
+func Check(f Fault, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	type outcome struct {
+		err      error
+		panicked interface{}
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if r := recover(); r != nil {
+				o.panicked = r
+			}
+			done <- o
+		}()
+		o.err = f.Inject(ctx)
+	}()
+
+	// The context deadline bounds well-behaved APIs; the outer timer is
+	// the hang detector for code that ignores its context entirely.
+	select {
+	case o := <-done:
+		switch {
+		case o.panicked != nil:
+			return fmt.Errorf("faults: %s panicked: %v", f.Name, o.panicked)
+		case o.err == nil:
+			return fmt.Errorf("faults: %s accepted the corrupted input", f.Name)
+		case strings.TrimSpace(o.err.Error()) == "":
+			return fmt.Errorf("faults: %s returned an empty error message", f.Name)
+		}
+		return nil
+	case <-time.After(2*timeout + time.Second):
+		return fmt.Errorf("faults: %s hung past its %v deadline", f.Name, timeout)
+	}
+}
+
+// goodSource is a well-formed module the mutation cases start from.
+const goodSource = `
+module m(a, b, y);
+input a, b;
+output y;
+wire w1, w2;
+dff r1(clk, w1, a);
+nand g1(w2, w1, b);
+nand g2(y, w2, w1);
+endmodule
+`
+
+// goodCircuit parses goodSource and cuts it; the catalog relies on it
+// never failing (asserted by the suite's self-test).
+func goodCircuit(lib *cell.Library) (*netlist.Circuit, error) {
+	sc, err := verilog.ParseString(goodSource, lib)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Cut()
+}
+
+func goodScheme() clocking.Scheme {
+	return clocking.Scheme{Phi1: 0.5, Gamma1: 0.5, Phi2: 0.5, Gamma2: 0.5}
+}
+
+// Catalog returns every registered fault.
+func Catalog() []Fault {
+	lib := cell.Default(1.0)
+	parse := func(src string) func(context.Context) error {
+		return func(context.Context) error {
+			_, err := verilog.ParseString(src, lib)
+			return err
+		}
+	}
+	return []Fault{
+		// --- netlist corruptions reaching the verilog elaborator ---
+		{
+			Name:  "combinational cycle through two nands",
+			Class: "verilog/comb-cycle",
+			Inject: parse(`module m(a, y); input a; output y;
+				wire w1, w2;
+				nand g1(w1, a, w2); nand g2(w2, w1, a); nand g3(y, w1, w2);
+				endmodule`),
+		},
+		{
+			Name:  "output net never driven",
+			Class: "verilog/dangling-net",
+			Inject: parse(`module m(a, y); input a; output y;
+				wire w; nand g1(w, a, a);
+				endmodule`),
+		},
+		{
+			Name:  "gate input from undeclared, undriven net",
+			Class: "verilog/dangling-net",
+			Inject: parse(`module m(a, y); input a; output y;
+				nand g1(y, a, ghost);
+				endmodule`),
+		},
+		{
+			Name:  "two instances named g1",
+			Class: "verilog/duplicate-instance",
+			Inject: parse(`module m(a, b, y); input a, b; output y;
+				wire w; nand g1(w, a, b); nand g1(y, w, a);
+				endmodule`),
+		},
+		{
+			Name:  "net driven by two gates",
+			Class: "verilog/double-driven-net",
+			Inject: parse(`module m(a, b, y); input a, b; output y;
+				nand g1(y, a, b); nand g2(y, b, a);
+				endmodule`),
+		},
+		{
+			Name:  "unknown primitive",
+			Class: "verilog/unknown-primitive",
+			Inject: parse(`module m(a, y); input a; output y;
+				frobnicate g1(y, a);
+				endmodule`),
+		},
+		{
+			Name:   "module truncated before endmodule",
+			Class:  "verilog/truncated-module",
+			Inject: parse(`module m(a, y); input a; output y; nand g1(y, a, a);`),
+		},
+		{
+			Name:  "dff with wrong port count",
+			Class: "verilog/width-mismatch",
+			Inject: parse(`module m(a, y); input a; output y;
+				dff r1(clk, y);
+				endmodule`),
+		},
+		{
+			Name:  "gate fanin/arity mismatch after in-place edit",
+			Class: "netlist/width-mismatch",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				for _, n := range c.Nodes {
+					if n.Kind == netlist.KindGate && len(n.Fanin) == 2 {
+						n.Fanin = n.Fanin[:1] // now violates the cell's arity
+						break
+					}
+				}
+				_, err = sta.AnalyzeChecked(c, sta.DefaultOptions(lib))
+				return err
+			},
+		},
+
+		// --- cell-level corruptions ---
+		{
+			Name:  "Eval with wrong input width",
+			Class: "cell/bad-arity",
+			Inject: func(context.Context) error {
+				_, err := cell.FuncNand2.Eval([]bool{true})
+				return err
+			},
+		},
+		{
+			Name:  "Eval of an unknown function",
+			Class: "cell/bad-arity",
+			Inject: func(context.Context) error {
+				_, err := cell.Function(999).Eval(nil)
+				return err
+			},
+		},
+
+		// --- STA option corruptions ---
+		{
+			Name:  "negative launch delay",
+			Class: "sta/negative-delay",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				opt := sta.DefaultOptions(lib)
+				opt.LaunchDelay = -1
+				_, err = sta.AnalyzeChecked(c, opt)
+				return err
+			},
+		},
+		{
+			Name:  "NaN input slew",
+			Class: "sta/nan-delay",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				opt := sta.DefaultOptions(lib)
+				opt.InputSlew = math.NaN()
+				_, err = sta.AnalyzeChecked(c, opt)
+				return err
+			},
+		},
+
+		// --- clock scheme corruptions through the retimers ---
+		{
+			Name:  "zero phase width into core.RetimeCtx",
+			Class: "clocking/zero-phase",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				s := goodScheme()
+				s.Phi1 = 0
+				_, err = core.RetimeCtx(ctx, c, core.Options{Scheme: s, EDLCost: 1}, core.ApproachGRAR)
+				return err
+			},
+		},
+		{
+			Name:  "negative borrow window into vlib.RetimeCtx",
+			Class: "clocking/negative-slack",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				s := goodScheme()
+				s.Gamma1 = -0.25
+				_, err = vlib.RetimeCtx(ctx, c, vlib.Options{Scheme: s, EDLCost: 1}, vlib.RVL)
+				return err
+			},
+		},
+		{
+			Name:  "nil circuit into core.RetimeCtx",
+			Class: "core/nil-circuit",
+			Inject: func(ctx context.Context) error {
+				_, err := core.RetimeCtx(ctx, nil, core.Options{Scheme: goodScheme(), EDLCost: 1}, core.ApproachBase)
+				return err
+			},
+		},
+
+		// --- simulator corruptions ---
+		{
+			Name:  "nil placement into the simulator",
+			Class: "sim/nil-placement",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				tm := sta.Analyze(c, sta.DefaultOptions(lib))
+				_, err = sim.ErrorRateCtx(ctx, tm, nil, nil, sim.Config{Scheme: goodScheme(), Latch: lib.BaseLatch, Cycles: 8})
+				return err
+			},
+		},
+		{
+			Name:  "placement with no slave latch on any path",
+			Class: "sim/illegal-placement",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				tm := sta.Analyze(c, sta.DefaultOptions(lib))
+				_, err = sim.ErrorRateCtx(ctx, tm, netlist.NewPlacement(), nil, sim.Config{Scheme: goodScheme(), Latch: lib.BaseLatch, Cycles: 8})
+				return err
+			},
+		},
+
+		// --- flow network corruptions ---
+		{
+			Name:  "demands that do not sum to zero",
+			Class: "flow/unbalanced",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				nw.SetDemand(0, 3)
+				if _, err := nw.AddArc(0, 1, 1, flow.Unbounded); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, _, err := nw.SolveMethod(ctx, flow.MethodAuto)
+				return err
+			},
+		},
+		{
+			Name:  "overflow-scale arc costs",
+			Class: "flow/overflow-cost",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				nw.SetDemand(0, -1)
+				nw.SetDemand(1, 1)
+				for i := 0; i < 2; i++ {
+					if _, err := nw.AddArc(0, 1, flow.Unbounded, flow.Unbounded); err != nil {
+						return fmt.Errorf("faults: bad fixture: %v", err)
+					}
+				}
+				_, _, err := nw.SolveMethod(ctx, flow.MethodAuto)
+				return err
+			},
+		},
+		{
+			Name:  "arc endpoint outside the node range",
+			Class: "flow/bad-arc",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				_, err := nw.AddArc(0, 7, 1, flow.Unbounded)
+				return err
+			},
+		},
+		{
+			Name:  "self-loop arc",
+			Class: "flow/bad-arc",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				_, err := nw.AddArc(1, 1, 1, flow.Unbounded)
+				return err
+			},
+		},
+		{
+			Name:  "negative arc capacity",
+			Class: "flow/bad-arc",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				_, err := nw.AddArc(0, 1, 1, -5)
+				return err
+			},
+		},
+		{
+			Name:  "demand with no path to satisfy it",
+			Class: "flow/infeasible",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(3)
+				nw.SetDemand(0, -2)
+				nw.SetDemand(2, 2)
+				if _, err := nw.AddArc(0, 1, 1, flow.Unbounded); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, _, err := nw.SolveMethod(ctx, flow.MethodAuto)
+				return err
+			},
+		},
+		{
+			Name:  "negative cycle with unbounded capacity",
+			Class: "flow/unbounded",
+			Inject: func(ctx context.Context) error {
+				nw := flow.NewNetwork(2)
+				if _, err := nw.AddArc(0, 1, -2, flow.Unbounded); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				if _, err := nw.AddArc(1, 0, 1, flow.Unbounded); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, _, err := nw.SolveMethod(ctx, flow.MethodAuto)
+				return err
+			},
+		},
+
+		// --- benchmark/experiment layer ---
+		{
+			Name:  "unknown benchmark name into the sweep",
+			Class: "experiments/unknown-benchmark",
+			Inject: func(ctx context.Context) error {
+				_, err := experiments.RunCtx(ctx, experiments.Config{Profiles: []string{"s0"}})
+				return err
+			},
+		},
+		{
+			Name:  "plasma generator with no registered inputs",
+			Class: "bench/bad-profile",
+			Inject: func(context.Context) error {
+				p, ok := bench.ProfileByName("Plasma")
+				if !ok {
+					return fmt.Errorf("faults: bad fixture: no Plasma profile")
+				}
+				p.PIRegs = 0
+				_, err := p.BuildSeq(lib)
+				return err
+			},
+		},
+	}
+}
+
+// Classes returns the set of distinct fault classes in the catalog.
+func Classes(faults []Fault) map[string]int {
+	m := make(map[string]int)
+	for _, f := range faults {
+		m[f.Class]++
+	}
+	return m
+}

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"relatch/internal/cell"
+)
+
+// TestFixtureIsWellFormed guards the catalog's starting point: the
+// mutations are only meaningful if the unmutated module parses.
+func TestFixtureIsWellFormed(t *testing.T) {
+	c, err := goodCircuit(cell.Default(1.0))
+	if err != nil {
+		t.Fatalf("good fixture rejected: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("good fixture invalid: %v", err)
+	}
+	if err := goodScheme().Validate(); err != nil {
+		t.Fatalf("good scheme invalid: %v", err)
+	}
+}
+
+// TestCatalog injects every fault and requires a descriptive error —
+// no panic, no hang — within the per-case deadline.
+func TestCatalog(t *testing.T) {
+	for _, f := range Catalog() {
+		f := f
+		t.Run(f.Class+"/"+f.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Check(f, 10*time.Second); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCatalogCoversRequiredClasses pins the breadth of the harness: at
+// least twelve distinct fault classes must stay registered.
+func TestCatalogCoversRequiredClasses(t *testing.T) {
+	classes := Classes(Catalog())
+	if len(classes) < 12 {
+		t.Fatalf("catalog covers %d classes, want >= 12: %v", len(classes), classes)
+	}
+	for _, required := range []string{
+		"verilog/comb-cycle",
+		"verilog/dangling-net",
+		"verilog/duplicate-instance",
+		"verilog/width-mismatch",
+		"flow/unbalanced",
+		"flow/overflow-cost",
+		"sta/negative-delay",
+	} {
+		if classes[required] == 0 {
+			t.Errorf("required fault class %s missing", required)
+		}
+	}
+}

@@ -1,24 +1,47 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 )
 
-// Method selects the flow solver backing a DiffLP solve.
+// Method selects the flow solver backing a solve.
 type Method int
 
 const (
+	// MethodAuto — the zero value, so every caller that does not pick a
+	// solver gets the hardened path — tries network simplex first,
+	// certifies the result against LP duality, and falls back to
+	// successive shortest paths on pivot-limit exhaustion or certification
+	// failure.
+	MethodAuto Method = iota
 	// MethodSimplex uses the network simplex solver (the paper's choice).
-	MethodSimplex Method = iota
+	MethodSimplex
 	// MethodSSP uses successive shortest paths.
 	MethodSSP
 )
 
 func (m Method) String() string {
-	if m == MethodSSP {
+	switch m {
+	case MethodSimplex:
+		return "simplex"
+	case MethodSSP:
 		return "ssp"
 	}
-	return "simplex"
+	return "auto"
+}
+
+// ParseMethod maps a flag value to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "auto", "":
+		return MethodAuto, nil
+	case "simplex":
+		return MethodSimplex, nil
+	case "ssp":
+		return MethodSSP, nil
+	}
+	return MethodAuto, fmt.Errorf("flow: unknown method %q (want auto, simplex or ssp)", s)
 }
 
 // DiffLP is an integer linear program over difference constraints:
@@ -35,10 +58,11 @@ func (m Method) String() string {
 // (usually the retiming host node): bounds of other variables are
 // relative to it, and the reported solution normalizes the anchor to 0.
 type DiffLP struct {
-	n      int
-	anchor int
-	obj    []int64
-	cons   []diffConstraint
+	n          int
+	anchor     int
+	obj        []int64
+	cons       []diffConstraint
+	pivotLimit int
 }
 
 type diffConstraint struct {
@@ -80,17 +104,34 @@ func (l *DiffLP) Bound(v int, lo, hi int64) {
 	l.Constrain(l.anchor, v, -lo)
 }
 
+// SetPivotLimit overrides the simplex pivot budget of the backing
+// network solve (0 = automatic).
+func (l *DiffLP) SetPivotLimit(limit int) { l.pivotLimit = limit }
+
 // Result is an optimal assignment with the anchor normalized to zero.
 type Result struct {
 	R         []int64
 	Objective int64
-	Method    Method
+	// Method is the solver that produced the accepted solution (never
+	// MethodAuto: auto resolves to the winner).
+	Method Method
+	// Fallback / FallbackReason / Certified mirror the flow.Report of the
+	// backing network solve.
+	Fallback       bool
+	FallbackReason string
+	Certified      bool
 }
 
-// Solve builds the dual transshipment network — node demand(v) = obj(v),
-// one arc per constraint (u,v) with cost c — solves it with the selected
-// method, and reads the optimal r values off the node potentials.
+// Solve is SolveCtx under context.Background().
 func (l *DiffLP) Solve(method Method) (*Result, error) {
+	return l.SolveCtx(context.Background(), method)
+}
+
+// SolveCtx builds the dual transshipment network — node demand(v) =
+// obj(v), one arc per constraint (u,v) with cost c — solves it with the
+// selected method (hardened fallback under MethodAuto), and reads the
+// optimal r values off the node potentials.
+func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
 	// The anchor is moved to the highest node index so that
 	// residualPotentials roots at it (see potentialRoot).
 	perm := make([]int, l.n)
@@ -129,14 +170,8 @@ func (l *DiffLP) Solve(method Method) (*Result, error) {
 		}
 	}
 
-	var sol *Solution
-	var err error
-	switch method {
-	case MethodSSP:
-		sol, err = nw.SolveSSP()
-	default:
-		sol, err = nw.SolveSimplex()
-	}
+	nw.SetPivotLimit(l.pivotLimit)
+	sol, rep, err := nw.SolveMethod(ctx, method)
 	if err != nil {
 		return nil, fmt.Errorf("flow: difference LP: %w", err)
 	}
@@ -146,12 +181,21 @@ func (l *DiffLP) Solve(method Method) (*Result, error) {
 	for v := 0; v < l.n; v++ {
 		r[v] = sol.Potential[perm[v]] - base
 	}
-	res := &Result{R: r, Method: method}
+	res := &Result{
+		R:              r,
+		Method:         rep.Solver,
+		Fallback:       rep.Fallback,
+		FallbackReason: rep.FallbackReason,
+		Certified:      rep.Certified,
+	}
 	for v := 0; v < l.n; v++ {
 		res.Objective += l.obj[v] * r[v]
 	}
+	// The network-level certificate already implies dual feasibility —
+	// i.e. every difference constraint holds on the lifted r — but the
+	// direct check is cheap and guards the lifting itself.
 	if err := l.checkFeasible(res.R); err != nil {
-		return nil, fmt.Errorf("flow: difference LP produced infeasible duals: %w", err)
+		return nil, fmt.Errorf("flow: difference LP produced infeasible duals: %w: %v", ErrNotCertified, err)
 	}
 	// Strong duality: the dual flow cost equals the primal optimum up to
 	// sign bookkeeping; the definitive value is recomputed from r above.

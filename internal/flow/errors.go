@@ -1,0 +1,34 @@
+package flow
+
+import "errors"
+
+// Sentinel errors classifying every way a solve can fail. Call sites wrap
+// them with context via fmt.Errorf("flow: ...: %w", Err...), so callers
+// match with errors.Is while messages stay descriptive. The sentinels
+// themselves carry no "flow:" prefix — the wrapping message does.
+var (
+	// ErrInfeasible: no flow satisfies the demands (or no assignment
+	// satisfies the difference constraints). Definitive — retrying with a
+	// different solver cannot help.
+	ErrInfeasible = errors.New("infeasible")
+	// ErrUnbounded: a negative-cost cycle of infinite capacity drives the
+	// objective to −∞. Definitive.
+	ErrUnbounded = errors.New("unbounded")
+	// ErrPivotLimit: the simplex hit its pivot budget before reaching
+	// optimality. Transient in the sense that another solver (or a larger
+	// budget) may still succeed; MethodAuto falls back to SSP on it.
+	ErrPivotLimit = errors.New("pivot limit exceeded")
+	// ErrNotCertified: a candidate solution failed the LP-duality
+	// optimality certificate (primal feasibility + dual feasibility +
+	// complementary slackness). MethodAuto falls back to SSP on it.
+	ErrNotCertified = errors.New("solution failed optimality certificate")
+	// ErrUnbalanced: supplies and demands do not sum to zero. A malformed
+	// input, not a solver failure.
+	ErrUnbalanced = errors.New("unbalanced demands")
+	// ErrBadArc: an arc is structurally invalid (self-loop, endpoint out
+	// of range, negative or over-range capacity).
+	ErrBadArc = errors.New("invalid arc")
+	// ErrOverflow: costs or demands are large enough that the solvers'
+	// int64 arithmetic (big-M bases, saturation supplies) could overflow.
+	ErrOverflow = errors.New("magnitude overflow")
+)

@@ -35,6 +35,9 @@ type Network struct {
 	n      int
 	arcs   []Arc
 	demand []int64
+	// pivotLimit overrides the simplex pivot budget when positive
+	// (0 = automatic, proportional to the arc count).
+	pivotLimit int
 }
 
 // NewNetwork creates a network with n nodes, numbered 0..n-1.
@@ -51,20 +54,30 @@ func (nw *Network) NumArcs() int { return len(nw.arcs) }
 // Arc returns the i-th arc.
 func (nw *Network) Arc(i int) Arc { return nw.arcs[i] }
 
-// AddArc appends an arc and returns its index.
+// AddArc appends an arc and returns its index. Structural problems —
+// endpoints out of range, self-loops, negative or over-range capacities —
+// are rejected with errors wrapping ErrBadArc.
 func (nw *Network) AddArc(from, to int, cost, capacity int64) (int, error) {
 	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
-		return 0, fmt.Errorf("flow: arc %d->%d outside node range [0,%d)", from, to, nw.n)
+		return 0, fmt.Errorf("flow: %w: arc %d->%d outside node range [0,%d)", ErrBadArc, from, to, nw.n)
 	}
 	if from == to {
-		return 0, fmt.Errorf("flow: self-loop arc on node %d", from)
+		return 0, fmt.Errorf("flow: %w: self-loop arc on node %d", ErrBadArc, from)
 	}
 	if capacity < 0 {
-		return 0, fmt.Errorf("flow: negative capacity %d on arc %d->%d", capacity, from, to)
+		return 0, fmt.Errorf("flow: %w: negative capacity %d on arc %d->%d", ErrBadArc, capacity, from, to)
+	}
+	if capacity > Unbounded {
+		return 0, fmt.Errorf("flow: %w: capacity %d on arc %d->%d exceeds Unbounded (%d)", ErrBadArc, capacity, from, to, Unbounded)
 	}
 	nw.arcs = append(nw.arcs, Arc{From: from, To: to, Cost: cost, Cap: capacity})
 	return len(nw.arcs) - 1, nil
 }
+
+// SetPivotLimit overrides the simplex pivot budget. Zero restores the
+// automatic budget (200·arcs + 20000). Used by callers that want an early
+// bail-out (and by tests to force the simplex→SSP fallback).
+func (nw *Network) SetPivotLimit(limit int) { nw.pivotLimit = limit }
 
 // SetDemand sets the required inflow−outflow balance of node v. Positive
 // demands receive flow; negative demands supply it.
@@ -80,7 +93,42 @@ func (nw *Network) checkBalanced() error {
 		sum += d
 	}
 	if sum != 0 {
-		return fmt.Errorf("flow: demands sum to %d, want 0", sum)
+		return fmt.Errorf("flow: %w: demands sum to %d, want 0", ErrUnbalanced, sum)
+	}
+	return nil
+}
+
+// checkMagnitudes rejects inputs whose absolute costs or demands sum past
+// Unbounded: beyond that the simplex big-M basis (bigM = Σ|cost|+1 held in
+// node potentials) and the SSP saturation supplies can overflow int64
+// arithmetic mid-solve, producing silently wrong answers instead of
+// errors. Overflow-scale inputs wrap ErrOverflow up front.
+func (nw *Network) checkMagnitudes() error {
+	var costSum, demandSum int64
+	for _, a := range nw.arcs {
+		c := a.Cost
+		if c < 0 {
+			c = -c
+		}
+		if c > Unbounded {
+			return fmt.Errorf("flow: %w: arc cost %d exceeds %d", ErrOverflow, a.Cost, Unbounded)
+		}
+		costSum += c
+		if costSum > Unbounded {
+			return fmt.Errorf("flow: %w: total |cost| exceeds %d", ErrOverflow, Unbounded)
+		}
+	}
+	for v, d := range nw.demand {
+		if d < 0 {
+			d = -d
+		}
+		if d > Unbounded {
+			return fmt.Errorf("flow: %w: demand %d on node %d exceeds %d", ErrOverflow, nw.demand[v], v, Unbounded)
+		}
+		demandSum += d
+		if demandSum > Unbounded {
+			return fmt.Errorf("flow: %w: total |demand| exceeds %d", ErrOverflow, Unbounded)
+		}
 	}
 	return nil
 }

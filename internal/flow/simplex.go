@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -20,7 +21,17 @@ const (
 // long degenerate runs, which guarantees termination), and tree updates
 // re-hang only the detached subtree.
 func (nw *Network) SolveSimplex() (*Solution, error) {
+	return nw.SolveSimplexCtx(context.Background())
+}
+
+// SolveSimplexCtx is SolveSimplex under a context: cancellation and
+// deadline expiry are observed between pivots and surface as errors
+// wrapping ctx.Err().
+func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 	if err := nw.checkBalanced(); err != nil {
+		return nil, err
+	}
+	if err := nw.checkMagnitudes(); err != nil {
 		return nil, err
 	}
 	n := nw.n
@@ -106,10 +117,20 @@ func (nw *Network) SolveSimplex() (*Solution, error) {
 	degenerate := 0
 	const degenerateLimit = 1 << 14
 	maxPivots := 200*total + 20000
+	if nw.pivotLimit > 0 {
+		maxPivots = nw.pivotLimit
+	}
 
 	for pivots := 0; ; pivots++ {
 		if pivots > maxPivots {
-			return nil, fmt.Errorf("flow: simplex exceeded %d pivots", maxPivots)
+			return nil, fmt.Errorf("flow: %w: simplex exceeded %d pivots", ErrPivotLimit, maxPivots)
+		}
+		if pivots&255 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("flow: simplex cancelled after %d pivots: %w", pivots, ctx.Err())
+			default:
+			}
 		}
 		// Entering arc selection.
 		entering := -1
@@ -206,7 +227,7 @@ func (nw *Network) SolveSimplex() (*Solution, error) {
 			}
 		}
 		if delta == Unbounded {
-			return nil, fmt.Errorf("flow: unbounded (negative-cost cycle of infinite capacity)")
+			return nil, fmt.Errorf("flow: %w: negative-cost cycle of infinite capacity", ErrUnbounded)
 		}
 		if delta == 0 {
 			degenerate++
@@ -313,7 +334,7 @@ func (nw *Network) SolveSimplex() (*Solution, error) {
 	// Feasibility: artificial arcs must be idle.
 	for i := m; i < len(arcs); i++ {
 		if flow[i] != 0 {
-			return nil, fmt.Errorf("flow: infeasible (artificial arc carries %d units)", flow[i])
+			return nil, fmt.Errorf("flow: %w: artificial arc carries %d units", ErrInfeasible, flow[i])
 		}
 	}
 	sol := &Solution{Flow: make([]int64, m)}

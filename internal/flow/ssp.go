@@ -2,6 +2,7 @@ package flow
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,7 +13,17 @@ import (
 // front (adjusting node imbalances), after which every residual cost is
 // non-negative and pure Dijkstra augmentation is exact.
 func (nw *Network) SolveSSP() (*Solution, error) {
+	return nw.SolveSSPCtx(context.Background())
+}
+
+// SolveSSPCtx is SolveSSP under a context: cancellation and deadline
+// expiry are observed between augmentation rounds and surface as errors
+// wrapping ctx.Err().
+func (nw *Network) SolveSSPCtx(ctx context.Context) (*Solution, error) {
 	if err := nw.checkBalanced(); err != nil {
+		return nil, err
+	}
+	if err := nw.checkMagnitudes(); err != nil {
 		return nil, err
 	}
 	// Residual arc representation: pairs (2i, 2i+1) are the forward and
@@ -83,7 +94,7 @@ func (nw *Network) SolveSSP() (*Solution, error) {
 			addPair(v, t, d, 0)
 			total += d
 			if total > Unbounded {
-				return nil, fmt.Errorf("flow: ssp supply overflow after negative-arc saturation")
+				return nil, fmt.Errorf("flow: %w: ssp supply overflow after negative-arc saturation", ErrOverflow)
 			}
 		}
 	}
@@ -95,6 +106,11 @@ func (nw *Network) SolveSSP() (*Solution, error) {
 
 	var sent int64
 	for sent < total {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("flow: ssp cancelled after routing %d of %d units: %w", sent, total, ctx.Err())
+		default:
+		}
 		// Dijkstra on reduced costs from s.
 		for v := range dist {
 			dist[v] = inf
@@ -122,7 +138,7 @@ func (nw *Network) SolveSSP() (*Solution, error) {
 			}
 		}
 		if dist[t] >= inf {
-			return nil, fmt.Errorf("flow: infeasible (only %d of %d units routable)", sent, total)
+			return nil, fmt.Errorf("flow: %w: only %d of %d units routable", ErrInfeasible, sent, total)
 		}
 		// Potential update capped at dist(t) keeps reduced costs valid
 		// for nodes Dijkstra did not settle this round.

@@ -105,6 +105,9 @@ func (p *Placement) LatchOnEdge(u, v *Node) bool {
 // runs a single topological pass computing the min and max latch count
 // over paths reaching each node.
 func (p *Placement) Validate(c *Circuit) error {
+	if p == nil {
+		return fmt.Errorf("netlist: nil placement")
+	}
 	const unset = -1
 	minL := make([]int, len(c.Nodes))
 	maxL := make([]int, len(c.Nodes))

@@ -16,6 +16,7 @@
 package rgraph
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,7 +131,13 @@ type Solution struct {
 	// Objective is the solved LP objective in latch-area units: slave
 	// latch count minus c per reclaimed target, up to a constant offset.
 	Objective float64
-	Method    flow.Method
+	// Method is the solver that produced the accepted solution; Fallback,
+	// FallbackReason and Certified report the hardened solve (see
+	// flow.Report).
+	Method         flow.Method
+	Fallback       bool
+	FallbackReason string
+	Certified      bool
 }
 
 // Build computes regions, classifies endpoints, derives g(t) and
@@ -556,18 +563,27 @@ func (g *Graph) NumVariables() int { return g.numVars }
 // NumConstraints returns the LP constraint count.
 func (g *Graph) NumConstraints() int { return g.lp.NumConstraints() }
 
-// Solve runs the LP through the selected flow method and lifts the duals
-// back to a slave-latch placement.
+// Solve is SolveCtx under context.Background().
 func (g *Graph) Solve(method flow.Method) (*Solution, error) {
-	res, err := g.lp.Solve(method)
+	return g.SolveCtx(context.Background(), method)
+}
+
+// SolveCtx runs the LP through the selected flow method and lifts the
+// duals back to a slave-latch placement. The context bounds the solve;
+// cancellation surfaces as an error wrapping ctx.Err().
+func (g *Graph) SolveCtx(ctx context.Context, method flow.Method) (*Solution, error) {
+	res, err := g.lp.SolveCtx(ctx, method)
 	if err != nil {
 		return nil, fmt.Errorf("rgraph: %w", err)
 	}
 	sol := &Solution{
-		R:           make(map[int]int),
-		PseudoFired: make(map[int]bool),
-		Objective:   float64(res.Objective) / Scale,
-		Method:      method,
+		R:              make(map[int]int),
+		PseudoFired:    make(map[int]bool),
+		Objective:      float64(res.Objective) / Scale,
+		Method:         res.Method,
+		Fallback:       res.Fallback,
+		FallbackReason: res.FallbackReason,
+		Certified:      res.Certified,
 	}
 	// The movement tie-break contributes less than one latch unit in
 	// total; Objective remains the latch-cost view.

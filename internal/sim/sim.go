@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -48,6 +49,13 @@ type Stats struct {
 // The timing view must belong to the circuit; ed flags the
 // error-detecting masters by output node ID.
 func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config) (Stats, error) {
+	return ErrorRateCtx(context.Background(), tm, p, ed, cfg)
+}
+
+// ErrorRateCtx is ErrorRate under a context: the cycle loop — the event
+// loop of the simulator — observes cancellation and deadline expiry
+// between cycles and surfaces them as errors wrapping ctx.Err().
+func ErrorRateCtx(ctx context.Context, tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config) (Stats, error) {
 	c := tm.C
 	if cfg.Cycles <= 0 {
 		cfg.Cycles = 1000
@@ -76,7 +84,7 @@ func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config
 	for _, in := range c.Inputs {
 		state[in.ID] = rng.Intn(2) == 1
 	}
-	evalCycle := func(first bool) {
+	evalCycle := func(first bool) error {
 		copy(prev, value)
 		for _, n := range c.Topo() {
 			switch n.Kind {
@@ -87,7 +95,11 @@ func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config
 				for i, f := range n.Fanin {
 					in[i] = value[f.ID]
 				}
-				value[n.ID] = n.Cell.Func.Eval(in)
+				v, err := n.Cell.Func.Eval(in)
+				if err != nil {
+					return fmt.Errorf("sim: gate %q: %w", n.Name, err)
+				}
+				value[n.ID] = v
 			case netlist.KindOutput:
 				value[n.ID] = value[n.Fanin[0].ID]
 			}
@@ -95,8 +107,11 @@ func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config
 		if first {
 			copy(prev, value)
 		}
+		return nil
 	}
-	evalCycle(true)
+	if err := evalCycle(true); err != nil {
+		return Stats{}, err
+	}
 
 	stats := Stats{Cycles: cfg.Cycles}
 	open := cfg.Scheme.SlaveOpen()
@@ -104,6 +119,13 @@ func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config
 	maxStage := cfg.Scheme.MaxStageDelay()
 
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		if cycle&63 == 0 {
+			select {
+			case <-ctx.Done():
+				return stats, fmt.Errorf("sim: cancelled after %d of %d cycles: %w", cycle, cfg.Cycles, ctx.Err())
+			default:
+			}
+		}
 		// Advance the boundary: feedback flops capture, pure inputs
 		// take fresh random values.
 		for _, in := range c.Inputs {
@@ -113,7 +135,9 @@ func ErrorRate(tm *sta.Timing, p *netlist.Placement, ed map[int]bool, cfg Config
 				state[in.ID] = rng.Intn(2) == 1
 			}
 		}
-		evalCycle(false)
+		if err := evalCycle(false); err != nil {
+			return stats, err
+		}
 
 		// Timed propagation of final-value transitions.
 		for _, n := range c.Topo() {

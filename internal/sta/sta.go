@@ -66,6 +66,40 @@ type Options struct {
 	EndpointCap float64
 }
 
+// Validate rejects option sets that would poison an analysis: unknown
+// models, and negative or non-finite delays, slews, and capacitances
+// (which would propagate NaN/−∞ arrivals through every downstream
+// constraint).
+func (o Options) Validate() error {
+	switch o.Model {
+	case ModelPath, ModelGate, ModelFixed:
+	default:
+		return fmt.Errorf("sta: unknown timing model %d", int(o.Model))
+	}
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("sta: %s = %g, want finite and non-negative", name, v)
+		}
+		return nil
+	}
+	for name, v := range map[string]float64{
+		"InputSlew":        o.InputSlew,
+		"WireCapPerFanout": o.WireCapPerFanout,
+		"LaunchDelay":      o.LaunchDelay,
+		"EndpointCap":      o.EndpointCap,
+	} {
+		if err := check(name, v); err != nil {
+			return err
+		}
+	}
+	for id, d := range o.FixedDelays {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return fmt.Errorf("sta: fixed delay %g on node %d, want finite and non-negative", d, id)
+		}
+	}
+	return nil
+}
+
 // DefaultOptions returns path-based options calibrated to the library.
 func DefaultOptions(lib *cell.Library) Options {
 	return Options{
@@ -93,6 +127,21 @@ type Timing struct {
 	arrival []float64 // D^f at every node output
 	slew    []float64
 	load    []float64
+}
+
+// AnalyzeChecked validates the circuit and options before running the
+// forward pass — the hardened entry point for externally supplied inputs.
+func AnalyzeChecked(c *netlist.Circuit, opt Options) (*Timing, error) {
+	if c == nil {
+		return nil, fmt.Errorf("sta: nil circuit")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return Analyze(c, opt), nil
 }
 
 // Analyze runs a full forward timing pass.
@@ -296,11 +345,17 @@ func (t *Timing) NearCritical(s clocking.Scheme) []*netlist.Node {
 
 // CriticalPathTo walks the worst arrival path from an endpoint back to a
 // cloud input, returning it input-first. It is the query the size-only
-// incremental compile uses to pick cells to upsize.
-func (t *Timing) CriticalPathTo(o *netlist.Node) []*netlist.Node {
+// incremental compile uses to pick cells to upsize. The walk is bounded
+// by the node count: on a circuit whose fanin relation contains a cycle
+// (impossible for netlist.Builder outputs, possible for hand-assembled
+// graphs) it returns an error instead of spinning.
+func (t *Timing) CriticalPathTo(o *netlist.Node) ([]*netlist.Node, error) {
 	var rev []*netlist.Node
 	n := o
-	for {
+	for steps := 0; ; steps++ {
+		if steps > len(t.C.Nodes) {
+			return nil, fmt.Errorf("sta: critical path to %q exceeds %d nodes (fanin cycle?)", o.Name, len(t.C.Nodes))
+		}
 		rev = append(rev, n)
 		if n.Kind == netlist.KindInput || len(n.Fanin) == 0 {
 			break
@@ -319,5 +374,5 @@ func (t *Timing) CriticalPathTo(o *netlist.Node) []*netlist.Node {
 	for i, n := range rev {
 		path[len(rev)-1-i] = n
 	}
-	return path
+	return path, nil
 }

@@ -262,7 +262,10 @@ func TestGateModelIsConservative(t *testing.T) {
 func TestCriticalPathTo(t *testing.T) {
 	c, tm := fig4Timing(t)
 	o9 := node(t, c, "O9")
-	path := tm.CriticalPathTo(o9)
+	path, err := tm.CriticalPathTo(o9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Critical path: I1 -> G3 -> G6 -> G7 -> G8 -> O9 (arrival 9).
 	want := []string{"I1", "G3", "G6", "G7", "G8", "O9"}
 	if len(path) != len(want) {

@@ -58,7 +58,7 @@ type PathReport struct {
 
 // ReportTiming reports the worst path into the endpoint against the given
 // required time.
-func (t *Tool) ReportTiming(endpoint *netlist.Node, required float64) PathReport {
+func (t *Tool) ReportTiming(endpoint *netlist.Node, required float64) (PathReport, error) {
 	tm := t.Timing()
 	rep := PathReport{
 		Endpoint: endpoint,
@@ -66,10 +66,14 @@ func (t *Tool) ReportTiming(endpoint *netlist.Node, required float64) PathReport
 		Required: required,
 	}
 	rep.Slack = rep.Required - rep.Arrival
-	for _, n := range tm.CriticalPathTo(endpoint) {
+	path, err := tm.CriticalPathTo(endpoint)
+	if err != nil {
+		return PathReport{}, fmt.Errorf("synth: %w", err)
+	}
+	for _, n := range path {
 		rep.Points = append(rep.Points, PathPoint{Node: n, Arrival: tm.Df(n)})
 	}
-	return rep
+	return rep, nil
 }
 
 // CompileResult summarizes a size-only incremental compile.
@@ -148,7 +152,11 @@ func (t *Tool) endpointArrivals(p *netlist.Placement, scheme clocking.Scheme, la
 // critical path and upsizes it. Returns false when nothing can improve.
 func (t *Tool) upsizeOnPath(endpoint *netlist.Node, res *CompileResult) bool {
 	tm := t.Timing()
-	path := tm.CriticalPathTo(endpoint)
+	path, err := tm.CriticalPathTo(endpoint)
+	if err != nil {
+		// A broken path query means no safe upsizing target exists.
+		return false
+	}
 	type candidate struct {
 		n    *netlist.Node
 		gain float64

@@ -41,7 +41,10 @@ func TestReportTiming(t *testing.T) {
 	c := chain(t, 5)
 	tool := New(c, sta.DefaultOptions(c.Lib))
 	o := c.Outputs[0]
-	rep := tool.ReportTiming(o, 1.0)
+	rep, err := tool.ReportTiming(o, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Arrival <= 0 {
 		t.Fatalf("arrival = %g, want positive", rep.Arrival)
 	}

@@ -1,0 +1,96 @@
+package verilog_test
+
+import (
+	"strings"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/verilog"
+)
+
+// crashers are inputs that exercised pathological parser states; kept as
+// an explicit regression corpus so the guards that tamed them stay.
+var crashers = []string{
+	"",
+	"module",
+	"module ;",
+	"module m",
+	"module m(",
+	"module m(a",
+	"module m(a,);",
+	"module m(a); input a;",
+	"module m(a); input a; endmodule extra",
+	"module m(y); output y; endmodule",
+	"module m(y); output y; nand g1(y; endmodule",
+	"module m(y); output y; nand g1; endmodule",
+	"module m(y); output y; nand (y, y); endmodule",
+	"module m(a, y); input a; output y; dff r1(clk, y, a, a); endmodule",
+	"/*",
+	"// only a comment",
+	"module m(a, y); input a; output y; nand g1(y, a, a) endmodule",
+	"module m(a, y); input a; output y; wire w; nand g1(w, a, w); nand g2(y, w, a); endmodule",
+}
+
+// FuzzParse feeds arbitrary text to the parser. The parser must either
+// return an error or produce a design the writer can round-trip; it must
+// never panic or stop terminating.
+func FuzzParse(f *testing.F) {
+	for _, src := range crashers {
+		f.Add(src)
+	}
+	// Seed with real generated netlists so the fuzzer starts from deep
+	// inside the accepted grammar (benchgen's output is exactly this).
+	lib := cell.Default(1.0)
+	for _, name := range []string{"s1196", "s1488"} {
+		prof, ok := bench.ProfileByName(name)
+		if !ok {
+			f.Fatalf("no profile %s", name)
+		}
+		seq, err := prof.BuildSeq(lib)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := verilog.Write(&sb, seq); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		seq, err := verilog.ParseString(src, lib)
+		if err != nil {
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatalf("empty error message for %q", src)
+			}
+			return
+		}
+		// Accepted designs must survive a write/re-parse round trip.
+		var sb strings.Builder
+		if err := verilog.Write(&sb, seq); err != nil {
+			t.Fatalf("accepted design failed to write: %v\ninput: %q", err, src)
+		}
+		again, err := verilog.ParseString(sb.String(), lib)
+		if err != nil {
+			t.Fatalf("writer output failed to re-parse: %v\ninput: %q\nwritten: %q", err, src, sb.String())
+		}
+		if len(again.FFs) != len(seq.FFs) || again.GateCount() != seq.GateCount() {
+			t.Fatalf("round trip changed the design: %d/%d flops, %d/%d gates\ninput: %q",
+				len(seq.FFs), len(again.FFs), seq.GateCount(), again.GateCount(), src)
+		}
+	})
+}
+
+// TestCrashersReturnErrorsOrParse pins the regression corpus outside of
+// fuzzing mode: every crasher either errors descriptively or parses.
+func TestCrashersReturnErrorsOrParse(t *testing.T) {
+	lib := cell.Default(1.0)
+	for _, src := range crashers {
+		if _, err := verilog.ParseString(src, lib); err != nil {
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Errorf("empty error for %q", src)
+			}
+		}
+	}
+}

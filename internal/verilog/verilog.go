@@ -113,10 +113,16 @@ func (p *parser) expect(t string) error {
 	return nil
 }
 
-// identList parses a comma-separated identifier list up to ';'.
+// identList parses a comma-separated identifier list up to ';'. The loop
+// is explicitly bounded by the token count: every iteration must consume
+// tokens, so exceeding the budget means the parser stopped advancing on a
+// truncated or malformed input and must error rather than spin.
 func (p *parser) identList() ([]string, error) {
 	var ids []string
-	for {
+	for iter := 0; ; iter++ {
+		if iter > len(p.toks)+1 {
+			return nil, fmt.Errorf("verilog: identifier list parser stopped advancing (token %d)", p.pos)
+		}
 		id := p.next()
 		if id == "" {
 			return nil, fmt.Errorf("verilog: unexpected end of input in list")
@@ -165,7 +171,12 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 
 	var inputs, outputs []string
 	var insts []instance
-	for {
+	// Bounded like identList: a statement consumes at least one token, so
+	// more iterations than tokens means no progress.
+	for iter := 0; ; iter++ {
+		if iter > len(p.toks)+1 {
+			return nil, fmt.Errorf("verilog: module parser stopped advancing (token %d)", p.pos)
+		}
 		switch t := p.next(); t {
 		case "endmodule":
 			return p.build(name, inputs, outputs, insts)
@@ -192,7 +203,10 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 			if err := p.expect("("); err != nil {
 				return nil, err
 			}
-			for {
+			for iter := 0; ; iter++ {
+				if iter > len(p.toks)+1 {
+					return nil, fmt.Errorf("verilog: argument list of instance %s stopped advancing (token %d)", inst.name, p.pos)
+				}
 				arg := p.next()
 				if arg == ")" {
 					break
@@ -240,6 +254,17 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 		kept = append(kept, inst)
 	}
 	insts = kept
+
+	// Duplicate instance names are a structural error: the builder
+	// uniquifies emitted gate names, so without this check two instances
+	// sharing a name would silently elaborate as distinct hardware.
+	seenInst := make(map[string]bool, len(insts))
+	for _, inst := range insts {
+		if seenInst[inst.name] {
+			return nil, fmt.Errorf("verilog: duplicate instance name %q", inst.name)
+		}
+		seenInst[inst.name] = true
+	}
 
 	for _, in := range inputs {
 		signal[in] = nil // reserved; materialized below unless a clock
@@ -364,7 +389,16 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 		*emitted++
 		return fmt.Sprintf("%s__%d", name, *emitted)
 	}
-	pick := func(f cell.Function) *cell.Cell { return p.lib.MustCell(f, 1) }
+	// The library is caller-supplied, so a missing (function, drive) pair
+	// is a user-input condition: resolve through Cell and surface the
+	// error instead of MustCell's panic.
+	gate := func(f cell.Function, fin ...*netlist.SeqNode) (*netlist.SeqNode, error) {
+		c, err := p.lib.Cell(f, 1)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: gate %s: %w", name, err)
+		}
+		return b.Gate(gname(), c, fin...), nil
+	}
 
 	if base == "buf" {
 		f := cell.FuncBuf
@@ -374,12 +408,12 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 		if len(fanin) != 1 {
 			return nil, fmt.Errorf("verilog: %s wants one input", name)
 		}
-		return b.Gate(gname(), pick(f), fanin[0]), nil
+		return gate(f, fanin[0])
 	}
 
 	// Exact-arity library matches for the inverted forms.
 	if inverted && base == "xor" && len(fanin) == 2 {
-		return b.Gate(gname(), pick(cell.FuncXnor2), fanin...), nil
+		return gate(cell.FuncXnor2, fanin...)
 	}
 	if inverted && base != "xor" {
 		var f cell.Function = -1
@@ -398,7 +432,7 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 			f = cell.FuncNor4
 		}
 		if f >= 0 {
-			return b.Gate(gname(), pick(f), fanin...), nil
+			return gate(f, fanin...)
 		}
 	}
 	var two, three cell.Function
@@ -419,11 +453,19 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 		i := 0
 		for i+1 < len(cur) {
 			if len(cur) == 3 && three >= 0 && i == 0 {
-				next = append(next, b.Gate(gname(), pick(three), cur[0], cur[1], cur[2]))
+				g, err := gate(three, cur[0], cur[1], cur[2])
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, g)
 				i += 3
 				continue
 			}
-			next = append(next, b.Gate(gname(), pick(two), cur[i], cur[i+1]))
+			g, err := gate(two, cur[i], cur[i+1])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, g)
 			i += 2
 		}
 		if i < len(cur) {
@@ -433,7 +475,7 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 	}
 	out := cur[0]
 	if inverted {
-		return b.Gate(gname(), pick(cell.FuncInv), out), nil
+		return gate(cell.FuncInv, out)
 	}
 	return out, nil
 }

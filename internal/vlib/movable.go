@@ -1,6 +1,7 @@
 package vlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,13 @@ type MovableResult struct {
 // sequential cost (2 latches per flop plus c per near-critical endpoint)
 // without breaking the stage budget. maxTrials bounds the search.
 func RetimeMovableMaster(sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Options, maxTrials int) (*MovableResult, error) {
+	return RetimeMovableMasterCtx(context.Background(), sc, scheme, opt, maxTrials)
+}
+
+// RetimeMovableMasterCtx is RetimeMovableMaster under a context: the hill
+// climb checks for cancellation between trials, and both RVL-RAR runs
+// observe it through their flow solves.
+func RetimeMovableMasterCtx(ctx context.Context, sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Options, maxTrials int) (*MovableResult, error) {
 	if maxTrials <= 0 {
 		maxTrials = 64
 	}
@@ -38,7 +46,7 @@ func RetimeMovableMaster(sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Opt
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := Retime(cut0, opt, RVL)
+	fixed, err := RetimeCtx(ctx, cut0, opt, RVL)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +60,11 @@ func RetimeMovableMaster(sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Opt
 		curScore = math.Inf(1)
 	}
 	for trial := 0; trial < maxTrials; trial++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("vlib: movable-master search cancelled after %d trials: %w", trial, ctx.Err())
+		default:
+		}
 		move := findMove(cur, trial)
 		if move == nil {
 			break
@@ -76,7 +89,7 @@ func RetimeMovableMaster(sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Opt
 	if err != nil {
 		return nil, err
 	}
-	movable, err := Retime(cutN, opt, RVL)
+	movable, err := RetimeCtx(ctx, cutN, opt, RVL)
 	if err != nil {
 		return nil, err
 	}

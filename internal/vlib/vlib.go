@@ -20,6 +20,7 @@
 package vlib
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -118,7 +119,16 @@ func initialTypes(c *netlist.Circuit, tm *sta.Timing, s clocking.Scheme, v Varia
 // clone (possibly resized by the incremental compile) is returned in the
 // result.
 func Retime(cin *netlist.Circuit, opt Options, variant Variant) (*Result, error) {
+	return RetimeCtx(context.Background(), cin, opt, variant)
+}
+
+// RetimeCtx is Retime under a context: the repeated flow solves of the
+// relax-and-retry loop observe cancellation and deadline expiry.
+func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant Variant) (*Result, error) {
 	start := time.Now()
+	if cin == nil {
+		return nil, fmt.Errorf("vlib: nil circuit")
+	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,9 +163,12 @@ func Retime(cin *netlist.Circuit, opt Options, variant Variant) (*Result, error)
 		if err != nil {
 			return nil, fmt.Errorf("vlib: %v: %w", variant, err)
 		}
-		sol, err = g.Solve(opt.Method)
+		sol, err = g.SolveCtx(ctx, opt.Method)
 		if err == nil {
 			break
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("vlib: %v: %w", variant, err)
 		}
 		relaxed := relaxWorst(c, tool.Timing(), opt.Scheme, ed)
 		if relaxed == 0 || attempt > len(c.Outputs) {
