@@ -2,13 +2,17 @@
 #
 #   make check      vet + build + race-enabled tests + fuzz smoke
 #   make test       plain test suite (the tier-1 gate)
+#   make lint       static lint over examples and generated benchmarks
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 
 GO      ?= go
 FUZZTIME ?= 10s
+# Benchmarks materialized as Verilog and re-linted through the parser;
+# every built-in profile is additionally linted in-memory.
+LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet build race fuzz-smoke fuzz
+.PHONY: check test vet build race lint fuzz-smoke fuzz
 
 check: vet build race fuzz-smoke
 
@@ -23,6 +27,22 @@ build:
 
 race:
 	$(GO) test -race ./...
+
+# lint must stay finding-free (exit 0) on everything the repo ships:
+# the example programs (vet), every built-in benchmark profile, and the
+# benchgen-materialized Verilog netlists re-read through the parser.
+# rar -lint exits 4 on error-severity findings, failing the target.
+lint:
+	$(GO) vet ./examples/...
+	$(GO) build -o build/rar ./cmd/rar
+	$(GO) build -o build/benchgen ./cmd/benchgen
+	./build/benchgen -out build/lint-benches -benchmarks $(LINTBENCHES)
+	@set -e; for f in build/lint-benches/*.v; do \
+		echo "lint $$f"; ./build/rar -verilog $$f -lint >/dev/null; \
+	done
+	@set -e; for b in $$(./build/rar -list | awk '{print $$1}'); do \
+		echo "lint -bench $$b"; ./build/rar -bench $$b -lint >/dev/null; \
+	done
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/

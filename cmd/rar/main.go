@@ -7,9 +7,17 @@
 //
 //	rar -bench s1423 -approach grar -c 1.0
 //	rar -verilog s27.v -approach rvl -c 2.0 -dump
+//	rar -verilog s27.v -lint
+//	rar -bench s1196 -lint -lint-json
+//
+// With -lint the circuit is statically analyzed instead of retimed: every
+// lint rule runs (see -lint-disable) and diagnostics print with source
+// positions, as JSON under -lint-json. -timeout applies to lint-only mode
+// the same as to retiming runs.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
-// interrupt.
+// interrupt, 4 lint findings (error-severity diagnostics; warnings alone
+// exit 0).
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"relatch/internal/core"
 	"relatch/internal/edl"
 	"relatch/internal/flow"
+	"relatch/internal/lint"
 	"relatch/internal/netlist"
 	"relatch/internal/sta"
 	"relatch/internal/verilog"
@@ -55,6 +64,9 @@ func main() {
 	dump := flag.Bool("dump", false, "dump the slave-latch placement")
 	instrument := flag.String("instrument", "", "write the error-detection-instrumented netlist (Verilog) to this file")
 	clusterSize := flag.Int("cluster", 8, "error-detecting latch cluster size for -instrument")
+	lintOnly := flag.Bool("lint", false, "lint the circuit instead of retiming it (exit 4 on findings)")
+	lintJSON := flag.Bool("lint-json", false, "with -lint, print diagnostics as JSON (implies -lint)")
+	lintDisable := flag.String("lint-disable", "", "comma-separated lint rule IDs to skip")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
@@ -83,6 +95,9 @@ func main() {
 		dump:        *dump,
 		instrument:  *instrument,
 		clusterSize: *clusterSize,
+		lint:        *lintOnly || *lintJSON,
+		lintJSON:    *lintJSON,
+		lintDisable: *lintDisable,
 	})
 	if err == nil {
 		return
@@ -93,6 +108,8 @@ func main() {
 		os.Exit(3)
 	case errors.As(err, &usageError{}):
 		os.Exit(2)
+	case errors.Is(err, lint.ErrFindings):
+		os.Exit(4)
 	default:
 		os.Exit(1)
 	}
@@ -107,6 +124,9 @@ type options struct {
 	dump                   bool
 	instrument             string
 	clusterSize            int
+	lint                   bool
+	lintJSON               bool
+	lintDisable            string
 }
 
 func run(ctx context.Context, o options) error {
@@ -132,7 +152,7 @@ func run(ctx context.Context, o options) error {
 		if err != nil {
 			return err
 		}
-		seq, err = verilog.Parse(f, lib)
+		seq, err = verilog.ParseNamed(f, lib, o.verilogPath)
 		f.Close()
 		if err != nil {
 			return err
@@ -143,6 +163,10 @@ func run(ctx context.Context, o options) error {
 		scheme = bench.SchemeFor(c, sta.DefaultOptions(lib))
 	default:
 		return usagef("need -bench or -verilog (try -list)")
+	}
+
+	if o.lint {
+		return runLint(ctx, c, scheme, o)
 	}
 
 	m, err := flow.ParseMethod(o.method)
@@ -230,6 +254,41 @@ func run(ctx context.Context, o options) error {
 		}
 	}
 	return nil
+}
+
+// runLint is the -lint mode: run every enabled rule, print the
+// diagnostics, and surface lint.ErrFindings (exit 4) when any
+// error-severity diagnostic fired.
+func runLint(ctx context.Context, c *netlist.Circuit, scheme clocking.Scheme, o options) error {
+	cfg := lint.Config{}
+	if o.lintDisable != "" {
+		cfg.Disabled = make(map[string]bool)
+		for _, id := range strings.Split(o.lintDisable, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				cfg.Disabled[id] = true
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return usagef("%v", err)
+	}
+	rep, err := lint.Run(ctx, lint.Input{
+		Circuit: c,
+		Scheme:  &scheme,
+		EDLCost: o.overhead,
+		File:    o.verilogPath,
+	}, cfg)
+	if err != nil {
+		return err
+	}
+	if o.lintJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	return rep.Err()
 }
 
 func fallbackNote(fellBack bool, reason string) string {

@@ -21,6 +21,7 @@ import (
 	"relatch/internal/cell"
 	"relatch/internal/clocking"
 	"relatch/internal/flow"
+	"relatch/internal/lint"
 	"relatch/internal/netlist"
 	"relatch/internal/rgraph"
 	"relatch/internal/sta"
@@ -161,6 +162,27 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	staOpt := staOptions(c, opt)
 	if err := staOpt.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	// Pre-flight gate: run the error-severity structural lint rules and
+	// fail fast — with positioned diagnostics — instead of burning a flow
+	// solve on a doomed netlist. The flow-conservation rule is excluded
+	// because it rebuilds the retiming graph this function is about to
+	// build anyway; its admission checks run on the real graph below.
+	lintRep, err := lint.Run(ctx, lint.Input{Circuit: c},
+		lint.Config{ErrorsOnly: true, Disabled: map[string]bool{"flow-conservation": true}})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	if ferr := lintRep.Err(); ferr != nil {
+		findings := lintRep.Findings()
+		for i, d := range findings {
+			if i == 5 {
+				ferr = fmt.Errorf("%w\n  ... and %d more", ferr, len(findings)-i)
+				break
+			}
+			ferr = fmt.Errorf("%w\n  %v", ferr, d)
+		}
+		return nil, fmt.Errorf("core: %s: pre-flight %w", approach, ferr)
 	}
 	optTiming := sta.Analyze(c, staOpt)
 	latch := slaveLatch(c, opt)

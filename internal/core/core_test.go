@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"relatch/internal/bench"
@@ -10,6 +12,7 @@ import (
 	"relatch/internal/exact"
 	"relatch/internal/fig4"
 	"relatch/internal/flow"
+	"relatch/internal/lint"
 	"relatch/internal/netlist"
 	"relatch/internal/rgraph"
 	"relatch/internal/sta"
@@ -256,5 +259,30 @@ func TestSeqAreaOf(t *testing.T) {
 	want := lib.BaseLatch.Area * (6 + 2)
 	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("SeqAreaOf = %g, want %g", got, want)
+	}
+}
+
+// TestRetimePreflightLint pins the pre-flight gate: a corrupted circuit
+// is rejected with positioned lint findings before any solve runs.
+func TestRetimePreflightLint(t *testing.T) {
+	c := fig4.MustCircuit()
+	// Chop a gate's fanin so the width-mismatch rule fires.
+	var gate *netlist.Node
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.KindGate && len(n.Fanin) > 1 {
+			gate = n
+			break
+		}
+	}
+	if gate == nil {
+		t.Fatal("fig4 has no multi-input gate")
+	}
+	gate.Fanin = gate.Fanin[:1]
+	_, err := Retime(c, fig4Options(c), ApproachGRAR)
+	if !errors.Is(err, lint.ErrFindings) {
+		t.Fatalf("Retime on a corrupted circuit = %v, want lint.ErrFindings", err)
+	}
+	if !strings.Contains(err.Error(), "width-mismatch") {
+		t.Errorf("error does not name the rule: %v", err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"relatch/internal/core"
 	"relatch/internal/experiments"
 	"relatch/internal/flow"
+	"relatch/internal/lint"
 	"relatch/internal/netlist"
 	"relatch/internal/sim"
 	"relatch/internal/sta"
@@ -393,6 +394,149 @@ func Catalog() []Fault {
 			},
 		},
 
+		// --- corrupted netlists through the lint engine ---
+		// Each case mutilates a sound circuit in place and asserts the
+		// linter reports error findings (rep.Err() != nil) without ever
+		// panicking — the harness's recover() is the panic detector.
+		{
+			Name:  "lint on a node with a corrupted ID",
+			Class: "lint/malformed-structure",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				c.Nodes[0].ID = len(c.Nodes) + 7
+				return lintFindings(ctx, c, nil)
+			},
+		},
+		{
+			Name:  "lint on a combinational cycle spliced between gates",
+			Class: "lint/comb-cycle",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				var down, up *netlist.Node
+			outer:
+				for _, n := range c.Nodes {
+					if n.Kind != netlist.KindGate {
+						continue
+					}
+					for _, f := range n.Fanin {
+						if f.Kind == netlist.KindGate {
+							down, up = n, f
+							break outer
+						}
+					}
+				}
+				if down == nil {
+					return fmt.Errorf("faults: bad fixture: no gate-to-gate edge")
+				}
+				up.Fanin[0] = down // up -> down -> up
+				return lintFindings(ctx, c, nil)
+			},
+		},
+		{
+			Name:  "lint on two nodes sharing one name",
+			Class: "lint/multi-driven-net",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				var gates []*netlist.Node
+				for _, n := range c.Nodes {
+					if n.Kind == netlist.KindGate {
+						gates = append(gates, n)
+					}
+				}
+				if len(gates) < 2 {
+					return fmt.Errorf("faults: bad fixture: need two gates")
+				}
+				gates[1].Name = gates[0].Name
+				return lintFindings(ctx, c, nil)
+			},
+		},
+		{
+			Name:  "lint on a primary output with its driver severed",
+			Class: "lint/undriven-output",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				if len(c.Outputs) == 0 {
+					return fmt.Errorf("faults: bad fixture: no outputs")
+				}
+				c.Outputs[0].Fanin = nil
+				return lintFindings(ctx, c, nil)
+			},
+		},
+		{
+			Name:  "lint on a gate with fewer fanins than its cell arity",
+			Class: "lint/width-mismatch",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				for _, n := range c.Nodes {
+					if n.Kind == netlist.KindGate && len(n.Fanin) == 2 {
+						n.Fanin = n.Fanin[:1]
+						return lintFindings(ctx, c, nil)
+					}
+				}
+				return fmt.Errorf("faults: bad fixture: no two-input gate")
+			},
+		},
+		{
+			Name:  "lint on a placement latching one path twice",
+			Class: "lint/double-latch",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				p := netlist.InitialPlacement(c)
+				var down, up *netlist.Node
+			outer:
+				for _, n := range c.Nodes {
+					if n.Kind != netlist.KindGate {
+						continue
+					}
+					for _, f := range n.Fanin {
+						if f.Kind == netlist.KindGate {
+							down, up = n, f
+							break outer
+						}
+					}
+				}
+				if down == nil {
+					return fmt.Errorf("faults: bad fixture: no gate-to-gate edge")
+				}
+				p.OnEdge[netlist.Edge{From: up.ID, To: down.ID}] = true
+				return lintFindings(ctx, c, p)
+			},
+		},
+		{
+			Name:  "lint on a placement leaving one path latch-free",
+			Class: "lint/unbalanced-cut",
+			Inject: func(ctx context.Context) error {
+				c, err := goodCircuit(lib)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				if len(c.Inputs) == 0 {
+					return fmt.Errorf("faults: bad fixture: no inputs")
+				}
+				p := netlist.InitialPlacement(c)
+				delete(p.AtInput, c.Inputs[0].ID)
+				return lintFindings(ctx, c, p)
+			},
+		},
+
 		// --- benchmark/experiment layer ---
 		{
 			Name:  "unknown benchmark name into the sweep",
@@ -416,6 +560,18 @@ func Catalog() []Fault {
 			},
 		},
 	}
+}
+
+// lintFindings lints a corrupted circuit and reports its error findings.
+// A run failure (nil circuit, internal panic) surfaces as-is; otherwise
+// the report's ErrFindings (nil when the corruption went undetected)
+// becomes the fault outcome, so Check fails on both panics and silence.
+func lintFindings(ctx context.Context, c *netlist.Circuit, p *netlist.Placement) error {
+	rep, err := lint.Run(ctx, lint.Input{Circuit: c, Placement: p}, lint.Config{})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
 }
 
 // Classes returns the set of distinct fault classes in the catalog.

@@ -127,32 +127,27 @@ func (l *DiffLP) Solve(method Method) (*Result, error) {
 	return l.SolveCtx(context.Background(), method)
 }
 
-// SolveCtx builds the dual transshipment network — node demand(v) =
-// obj(v), one arc per constraint (u,v) with cost c — solves it with the
-// selected method (hardened fallback under MethodAuto), and reads the
-// optimal r values off the node potentials.
-func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
-	// The anchor is moved to the highest node index so that
-	// residualPotentials roots at it (see potentialRoot).
-	perm := make([]int, l.n)
-	inv := make([]int, l.n)
+// lower builds the dual transshipment network — node demand(v) = obj(v),
+// one arc per constraint (u,v) with cost c — and the variable permutation
+// that moves the anchor to the highest node index so residualPotentials
+// roots at it (see potentialRoot). Shared by SolveCtx and Preflight.
+func (l *DiffLP) lower() (nw *Network, perm []int, err error) {
+	perm = make([]int, l.n)
 	idx := 0
 	for v := 0; v < l.n; v++ {
 		if v == l.anchor {
 			continue
 		}
 		perm[v] = idx
-		inv[idx] = v
 		idx++
 	}
 	perm[l.anchor] = l.n - 1
-	inv[l.n-1] = l.anchor
 
 	// Minimizing Σ obj(v)·(r(v) − r(anchor)) pins the anchor at zero;
 	// the anchor's demand absorbs the coefficient sum so the dual
 	// transshipment balances — exactly the paper's host demand
 	// X(h) = −B(h) − c·|V2| in Eq. (14).
-	nw := NewNetwork(l.n)
+	nw = NewNetwork(l.n)
 	var sum int64
 	for v := 0; v < l.n; v++ {
 		sum += l.obj[v]
@@ -166,10 +161,32 @@ func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
 	}
 	for _, c := range l.cons {
 		if _, err := nw.AddArc(perm[c.u], perm[c.v], c.c, Unbounded); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	return nw, perm, nil
+}
 
+// Preflight lowers the program to its dual network and runs the solver
+// admission checks — conservation (ErrUnbalanced), magnitude bounds
+// (ErrOverflow), arc structure (ErrBadArc) — without paying for a solve.
+// A nil error means a solve would be admitted, not that it is feasible.
+func (l *DiffLP) Preflight() error {
+	nw, _, err := l.lower()
+	if err != nil {
+		return err
+	}
+	return nw.Validate()
+}
+
+// SolveCtx lowers the program to its dual transshipment network, solves
+// it with the selected method (hardened fallback under MethodAuto), and
+// reads the optimal r values off the node potentials.
+func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
+	nw, perm, err := l.lower()
+	if err != nil {
+		return nil, err
+	}
 	nw.SetPivotLimit(l.pivotLimit)
 	sol, rep, err := nw.SolveMethod(ctx, method)
 	if err != nil {

@@ -86,6 +86,17 @@ func (nw *Network) SetDemand(v int, d int64) { nw.demand[v] = d }
 // Demand returns the demand of node v.
 func (nw *Network) Demand(v int) int64 { return nw.demand[v] }
 
+// Validate runs the structural admission checks a solve would perform —
+// demand conservation (ErrUnbalanced) and cost/demand magnitude bounds
+// (ErrOverflow) — without solving. Lint and other pre-flight callers use
+// it to reject doomed networks before paying for a simplex run.
+func (nw *Network) Validate() error {
+	if err := nw.checkBalanced(); err != nil {
+		return err
+	}
+	return nw.checkMagnitudes()
+}
+
 // checkBalanced verifies that total supply matches total demand.
 func (nw *Network) checkBalanced() error {
 	var sum int64

@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/lint"
+	"relatch/internal/verilog"
+)
+
+// FuzzLint drives arbitrary text through parse → cut → lint. Seeded from
+// the parser's crasher corpus: any input the parser accepts — however
+// pathological — must lint without panicking, and Run must return a
+// report, never an error, on a well-formed context.
+func FuzzLint(f *testing.F) {
+	for _, src := range verilog.CrasherCorpus {
+		f.Add(src)
+	}
+	f.Add(cleanSrc)
+	lib := cell.Default(1.0)
+	scheme := clocking.Symmetric(1.0)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		seq, err := verilog.ParseString(src, lib)
+		if err != nil {
+			return
+		}
+		c, err := seq.Cut()
+		if err != nil {
+			return
+		}
+		rep, err := lint.Run(context.Background(), lint.Input{
+			Circuit: c, Scheme: &scheme, EDLCost: 1.0,
+		}, lint.Config{})
+		if err != nil {
+			t.Fatalf("lint.Run errored on an accepted design: %v\ninput: %q", err, src)
+		}
+		// Build-accepted circuits are structurally sound by construction:
+		// the structural error rules must stay silent on them.
+		for _, d := range rep.Diagnostics {
+			switch d.Rule {
+			case "malformed-structure", "comb-cycle", "undriven-output", "width-mismatch", "multi-driven-net":
+				t.Fatalf("structural rule %s fired on a Build-accepted circuit: %v\ninput: %q", d.Rule, d, src)
+			}
+		}
+	})
+}
+
+// TestLintCrasherCorpus pins the corpus outside fuzzing mode.
+func TestLintCrasherCorpus(t *testing.T) {
+	lib := cell.Default(1.0)
+	scheme := clocking.Symmetric(1.0)
+	for _, src := range verilog.CrasherCorpus {
+		seq, err := verilog.ParseString(src, lib)
+		if err != nil {
+			continue
+		}
+		c, err := seq.Cut()
+		if err != nil {
+			continue
+		}
+		if _, err := lint.Run(context.Background(), lint.Input{
+			Circuit: c, Scheme: &scheme, EDLCost: 1.0,
+		}, lint.Config{}); err != nil {
+			t.Errorf("lint.Run errored on crasher %q: %v", strings.TrimSpace(src), err)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+// Package lint is a rule-based static analyzer for cut clouds and latch
+// placements: a pre-flight pass that finds every structural violation up
+// front, with file:line diagnostics, instead of burning a flow solve on a
+// doomed netlist. The design follows the go vet analyzer idiom — a
+// registry of small independent rules, each producing positioned
+// diagnostics, with per-rule enable/disable.
+//
+// Severity policy: a rule is an Error when the G-RAR pipeline cannot
+// produce a meaningful result on a circuit that trips it (cycles,
+// undriven outputs, malformed cells, illegal placements, unsolvable flow
+// duals); it is a Warning when the condition is legal but worth knowing
+// (unused logic, masters previewed to need error detection). Only
+// error-severity diagnostics are "findings": they gate core.RetimeCtx and
+// drive rar's exit code 4. Seed benchmarks legitimately contain floating
+// gates and dead cones, so those stay warnings.
+package lint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"relatch/internal/clocking"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// SeverityWarning marks conditions that are legal but suspicious.
+	SeverityWarning Severity = iota
+	// SeverityError marks conditions under which a retiming solve cannot
+	// produce a meaningful result.
+	SeverityError
+)
+
+func (s Severity) String() string {
+	if s == SeverityError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one finding of one rule.
+type Diagnostic struct {
+	// Rule is the ID of the rule that produced the diagnostic.
+	Rule string `json:"rule"`
+	// Severity grades the diagnostic (see the package severity policy).
+	Severity Severity `json:"severity"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Node names the offending node/net; empty for circuit-level findings.
+	Node string `json:"node,omitempty"`
+	// Pos is the source position of the offending declaration when the
+	// circuit was parsed from a file; for circuit-level findings it
+	// carries only the source file name.
+	Pos netlist.Pos `json:"pos"`
+}
+
+func (d Diagnostic) String() string {
+	loc := d.Pos.String()
+	if loc == "" {
+		loc = "-"
+	}
+	if d.Node != "" {
+		return fmt.Sprintf("%s: %s: %s [%s] (%s)", loc, d.Severity, d.Message, d.Rule, d.Node)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", loc, d.Severity, d.Message, d.Rule)
+}
+
+// Rule is one registered check.
+type Rule struct {
+	// ID identifies the rule in diagnostics, Config.Disabled and docs.
+	ID string
+	// Severity applies to every diagnostic the rule produces.
+	Severity Severity
+	// Doc is a one-line description for usage text and DESIGN.md.
+	Doc string
+	// Check inspects the context and returns diagnostics. A rule whose
+	// prerequisites are missing (no scheme, corrupted structure) returns
+	// nil rather than guessing.
+	Check func(*Context, Rule) []Diagnostic
+}
+
+// at builds a diagnostic of this rule anchored at node n (nil for
+// circuit-level findings, which carry the input's source file instead).
+func (r Rule) at(cx *Context, n *netlist.Node, format string, args ...any) Diagnostic {
+	d := Diagnostic{Rule: r.ID, Severity: r.Severity, Message: fmt.Sprintf(format, args...)}
+	if n != nil {
+		d.Node = n.Name
+		d.Pos = n.Pos
+	}
+	if d.Pos.IsZero() {
+		d.Pos = netlist.Pos{File: cx.In.File}
+	}
+	return d
+}
+
+// Rules returns the registered catalogue in registration order.
+func Rules() []Rule {
+	out := make([]Rule, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Input is the subject of a lint run.
+type Input struct {
+	// Circuit is the cut cloud to analyze. Required.
+	Circuit *netlist.Circuit
+	// Placement is the slave-latch placement to check; nil means the
+	// pre-retiming initial placement (one latch at every cloud input).
+	Placement *netlist.Placement
+	// Scheme enables the timing-backed rules (resiliency-window preview,
+	// flow-conservation pre-check); nil skips them.
+	Scheme *clocking.Scheme
+	// StaOptions overrides the timing options of the timing-backed rules;
+	// nil derives sta.DefaultOptions from the circuit's library.
+	StaOptions *sta.Options
+	// EDLCost is the error-detecting overhead factor checked by the
+	// flow-conservation rule.
+	EDLCost float64
+	// File is the source path of the netlist, attached to circuit-level
+	// diagnostics that have no node to point at.
+	File string
+}
+
+// Config tunes a run.
+type Config struct {
+	// Disabled skips rules by ID. Unknown IDs are rejected by Validate.
+	Disabled map[string]bool
+	// ErrorsOnly restricts the run to error-severity rules — the cheap
+	// pre-flight gate configuration used by core.RetimeCtx.
+	ErrorsOnly bool
+}
+
+// Validate rejects configs naming unknown rules (flag-typo guard).
+func (cfg Config) Validate() error {
+	known := make(map[string]bool, len(registry))
+	for _, r := range registry {
+		known[r.ID] = true
+	}
+	for id := range cfg.Disabled {
+		if !known[id] {
+			return fmt.Errorf("lint: unknown rule %q", id)
+		}
+	}
+	return nil
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Circuit is the analyzed circuit's name.
+	Circuit string `json:"circuit"`
+	// Diagnostics lists every diagnostic in rule-registration order.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Counts returns the number of error- and warning-severity diagnostics.
+func (r *Report) Counts() (errs, warns int) {
+	for _, d := range r.Diagnostics {
+		if d.Severity == SeverityError {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	return errs, warns
+}
+
+// Findings returns the error-severity diagnostics — the subset that
+// gates a retiming run and drives exit code 4.
+func (r *Report) Findings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == SeverityError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ErrFindings is the sentinel wrapped by Report.Err when error-severity
+// findings are present; callers branch on it with errors.Is (cmd/rar maps
+// it to exit code 4).
+var ErrFindings = errors.New("lint: findings")
+
+// Err returns nil when the report has no error-severity findings, and an
+// error wrapping ErrFindings otherwise.
+func (r *Report) Err() error {
+	if errs, _ := r.Counts(); errs > 0 {
+		return fmt.Errorf("%w: %d error finding(s) in %s", ErrFindings, errs, r.Circuit)
+	}
+	return nil
+}
+
+// WriteText prints one line per diagnostic plus a summary.
+func (r *Report) WriteText(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d)
+	}
+	errs, warns := r.Counts()
+	fmt.Fprintf(w, "%s: %d error(s), %d warning(s)\n", r.Circuit, errs, warns)
+}
+
+// WriteJSON encodes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Run executes every enabled rule over the input and collects the
+// diagnostics. It never panics on corrupted circuits: the context
+// rebuilds connectivity defensively, structure-dependent rules skip
+// themselves when prerequisites fail, and a rule that panics anyway is
+// converted into an error. The context bounds the run; cancellation
+// between rules surfaces as an error wrapping ctx.Err().
+func Run(ctx context.Context, in Input, cfg Config) (rep *Report, err error) {
+	if in.Circuit == nil {
+		return nil, fmt.Errorf("lint: nil circuit")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cx := newContext(in)
+	rep = &Report{Circuit: in.Circuit.Name}
+	defer func() {
+		if p := recover(); p != nil {
+			rep, err = nil, fmt.Errorf("lint: rule panicked: %v", p)
+		}
+	}()
+	for _, r := range registry {
+		if cfg.Disabled[r.ID] {
+			continue
+		}
+		if cfg.ErrorsOnly && r.Severity != SeverityError {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		rep.Diagnostics = append(rep.Diagnostics, r.Check(cx, r)...)
+	}
+	return rep, nil
+}
+
+// structIssue is one structural defect recorded while the context builds
+// its defensive view; the malformed-structure rule formats them.
+type structIssue struct {
+	node *netlist.Node // may be nil (nil slot)
+	msg  string
+}
+
+// Context is the precomputed view rules share. Connectivity is rebuilt
+// from Fanin pointers alone — Fanout, cached topo order and node IDs are
+// never trusted, so rules stay sound on circuits corrupted after Build.
+type Context struct {
+	In Input
+	C  *netlist.Circuit
+
+	// index maps a node pointer to its slot in C.Nodes (first occurrence).
+	index map[*netlist.Node]int
+	// fanout is the derived fanout adjacency, by slot.
+	fanout [][]int
+	// order is a topological order of slots; partial when cyclic.
+	order []int
+	// inCycle marks slots left unprocessed by the topological pass.
+	inCycle []bool
+	// reaches marks slots from which some output node is reachable.
+	reaches []bool
+
+	issues []structIssue
+	// structOK means no structural issues: node IDs match slots, fanins
+	// resolve, kinds are coherent. Placement and timing rules require it.
+	structOK bool
+	// acyclic means the defensive topological pass processed every node.
+	acyclic bool
+	// topoCacheOK means the circuit's cached Topo() is still a valid
+	// topological order of the current structure; the sta-backed rules
+	// require it because sta.Analyze walks the cache.
+	topoCacheOK bool
+}
+
+func newContext(in Input) *Context {
+	c := in.Circuit
+	cx := &Context{In: in, C: c}
+	n := len(c.Nodes)
+	cx.index = make(map[*netlist.Node]int, n)
+	for i, nd := range c.Nodes {
+		if nd == nil {
+			cx.issues = append(cx.issues, structIssue{msg: fmt.Sprintf("nil node at slot %d", i)})
+			continue
+		}
+		if _, dup := cx.index[nd]; dup {
+			cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("node %q appears twice in the node list", nd.Name)})
+			continue
+		}
+		cx.index[nd] = i
+		if nd.ID != i {
+			cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("node %q has ID %d at slot %d", nd.Name, nd.ID, i)})
+		}
+		switch nd.Kind {
+		case netlist.KindInput, netlist.KindGate, netlist.KindOutput:
+		default:
+			cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("node %q has unknown kind %d", nd.Name, int(nd.Kind))})
+		}
+		if nd.Kind == netlist.KindInput && len(nd.Fanin) != 0 {
+			cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("input %q has fanin", nd.Name)})
+		}
+		if nd.Kind == netlist.KindGate && nd.Cell == nil {
+			cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("gate %q has no cell", nd.Name)})
+		}
+	}
+	for _, rooted := range [][]*netlist.Node{c.Inputs, c.Outputs} {
+		for _, nd := range rooted {
+			if nd == nil {
+				cx.issues = append(cx.issues, structIssue{msg: "nil entry in the input/output list"})
+			} else if _, ok := cx.index[nd]; !ok {
+				cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("boundary node %q is not in the node list", nd.Name)})
+			}
+		}
+	}
+
+	// Derived fanout + indegrees, from Fanin pointers alone.
+	cx.fanout = make([][]int, n)
+	indeg := make([]int, n)
+	for i, nd := range c.Nodes {
+		if nd == nil {
+			continue
+		}
+		for _, f := range nd.Fanin {
+			if f == nil {
+				cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("%s %q has a nil fanin", nd.Kind, nd.Name)})
+				continue
+			}
+			j, ok := cx.index[f]
+			if !ok {
+				cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("%s %q has a fanin outside the node list", nd.Kind, nd.Name)})
+				continue
+			}
+			if f.Kind == netlist.KindOutput {
+				cx.issues = append(cx.issues, structIssue{node: nd, msg: fmt.Sprintf("output %q fans out to %q", f.Name, nd.Name)})
+			}
+			cx.fanout[j] = append(cx.fanout[j], i)
+			indeg[i]++
+		}
+	}
+	cx.structOK = len(cx.issues) == 0
+
+	// Defensive Kahn pass over the derived adjacency.
+	live := 0
+	queue := make([]int, 0, n)
+	for i, nd := range c.Nodes {
+		if nd == nil {
+			continue
+		}
+		live++
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	cx.order = make([]int, 0, live)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		cx.order = append(cx.order, i)
+		for _, j := range cx.fanout[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	cx.acyclic = len(cx.order) == live
+	cx.inCycle = make([]bool, n)
+	for i, nd := range c.Nodes {
+		cx.inCycle[i] = nd != nil && indeg[i] > 0
+	}
+
+	// Output reachability, by reverse walk over Fanin.
+	cx.reaches = make([]bool, n)
+	var stack []int
+	for _, o := range c.Outputs {
+		if i, ok := cx.index[o]; ok && !cx.reaches[i] {
+			cx.reaches[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Nodes[i].Fanin {
+			if f == nil {
+				continue
+			}
+			if j, ok := cx.index[f]; ok && !cx.reaches[j] {
+				cx.reaches[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+
+	// Is the cached topo order still valid for the current structure?
+	cx.topoCacheOK = cx.structOK && cx.acyclic && validTopoCache(c, cx.index)
+	return cx
+}
+
+// validTopoCache reports whether c.Topo() covers every node exactly once
+// with all fanins ordered first.
+func validTopoCache(c *netlist.Circuit, index map[*netlist.Node]int) bool {
+	topo := c.Topo()
+	if len(topo) != len(c.Nodes) {
+		return false
+	}
+	pos := make(map[*netlist.Node]int, len(topo))
+	for i, nd := range topo {
+		if nd == nil {
+			return false
+		}
+		if _, dup := pos[nd]; dup {
+			return false
+		}
+		if _, ok := index[nd]; !ok {
+			return false
+		}
+		pos[nd] = i
+	}
+	for _, nd := range topo {
+		for _, f := range nd.Fanin {
+			fp, ok := pos[f]
+			if !ok || fp >= pos[nd] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// placement returns the placement under check: the supplied one, or the
+// pre-retiming initial placement.
+func (cx *Context) placement() *netlist.Placement {
+	if cx.In.Placement != nil {
+		return cx.In.Placement
+	}
+	return netlist.InitialPlacement(cx.C)
+}
+
+// staOptions returns the timing options of the timing-backed rules.
+func (cx *Context) staOptions() sta.Options {
+	if cx.In.StaOptions != nil {
+		return *cx.In.StaOptions
+	}
+	return sta.DefaultOptions(cx.C.Lib)
+}

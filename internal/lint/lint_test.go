@@ -1,0 +1,432 @@
+package lint_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/fig4"
+	"relatch/internal/lint"
+	"relatch/internal/netlist"
+	"relatch/internal/sta"
+	"relatch/internal/verilog"
+)
+
+// cleanSrc is the shared fixture: a two-gate pipeline stage with one
+// state register. Every net is used, so a lint of the untouched circuit
+// is silent; the per-rule tests corrupt the parsed circuit in place.
+const cleanSrc = `module fix(a, b, y);
+  input a;
+  input b;
+  output y;
+  wire w;
+  nand g1(w, a, b);
+  dff r1(clk, q, w);
+  nand g2(y, q, b);
+endmodule
+`
+
+const fixFile = "fix.v"
+
+func parseFix(t *testing.T, src string) *netlist.Circuit {
+	t.Helper()
+	seq, err := verilog.ParseNamed(strings.NewReader(src), cell.Default(1.0), fixFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := seq.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// nodeByPrefix finds the cloud node for a declared name (gate instances
+// are flattened into name__N tree nodes).
+func nodeByPrefix(t *testing.T, c *netlist.Circuit, prefix string) *netlist.Node {
+	t.Helper()
+	for _, n := range c.Nodes {
+		if n.Name == prefix || strings.HasPrefix(n.Name, prefix+"__") {
+			return n
+		}
+	}
+	t.Fatalf("no node with prefix %q", prefix)
+	return nil
+}
+
+func runLint(t *testing.T, in lint.Input, cfg lint.Config) *lint.Report {
+	t.Helper()
+	rep, err := lint.Run(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func diagsFor(rep *lint.Report, rule string) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, d := range rep.Diagnostics {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// wantDiag asserts exactly one diagnostic of the rule, anchored at the
+// named node with a position in the fixture file.
+func wantDiag(t *testing.T, rep *lint.Report, rule, node string) lint.Diagnostic {
+	t.Helper()
+	ds := diagsFor(rep, rule)
+	if len(ds) == 0 {
+		t.Fatalf("no %s diagnostic; report:\n%v", rule, rep.Diagnostics)
+	}
+	for _, d := range ds {
+		if d.Node == node {
+			if d.Pos.File != fixFile || d.Pos.Line == 0 {
+				t.Errorf("%s diagnostic at %q, want a %s position with a line", rule, d.Pos, fixFile)
+			}
+			return d
+		}
+	}
+	t.Fatalf("%s diagnostics %v name no node %q", rule, ds, node)
+	return lint.Diagnostic{}
+}
+
+func TestCleanFixtureSilent(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	scheme := clocking.Symmetric(1.0)
+	rep := runLint(t, lint.Input{Circuit: c, Scheme: &scheme, EDLCost: 1.0, File: fixFile}, lint.Config{})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("clean fixture produced diagnostics:\n%v", rep.Diagnostics)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean fixture Err() = %v", err)
+	}
+}
+
+func TestRuleMalformedStructure(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g1.ID = 42
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "malformed-structure", g1.Name)
+}
+
+func TestRuleCombCycle(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g2 := nodeByPrefix(t, c, "g2")
+	g1.Fanin[0] = g2
+	g2.Fanin[0] = g1
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	d := wantDiag(t, rep, "comb-cycle", g1.Name)
+	if d.Severity != lint.SeverityError {
+		t.Errorf("comb-cycle severity %v, want error", d.Severity)
+	}
+}
+
+func TestRuleMultiDrivenNet(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g2 := nodeByPrefix(t, c, "g2")
+	g2.Name = g1.Name
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "multi-driven-net", g1.Name)
+}
+
+func TestRuleUndrivenOutput(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	po, ok := c.Node("po_y")
+	if !ok {
+		t.Fatal("no po_y node")
+	}
+	po.Fanin = nil
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "undriven-output", "po_y")
+}
+
+func TestRuleWidthMismatch(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g1.Fanin = g1.Fanin[:1]
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "width-mismatch", g1.Name)
+}
+
+func TestRuleZeroDelayCell(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	cc := *g1.Cell
+	cc.IntrinsicRise = []float64{0, 0}
+	cc.IntrinsicFall = []float64{0, 0}
+	g1.Cell = &cc
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "zero-delay-cell", g1.Name)
+
+	// Negative delay is the other face of the same rule.
+	c2 := parseFix(t, cleanSrc)
+	g := nodeByPrefix(t, c2, "g2")
+	cn := *g.Cell
+	cn.IntrinsicRise = []float64{-0.1, 0.1}
+	cn.IntrinsicFall = []float64{0.1, 0.1}
+	g.Cell = &cn
+	rep2 := runLint(t, lint.Input{Circuit: c2, File: fixFile}, lint.Config{})
+	wantDiag(t, rep2, "zero-delay-cell", g.Name)
+}
+
+func TestRuleFloatingNet(t *testing.T) {
+	src := `module fix(a, b, c, y);
+  input a;
+  input b;
+  input c;
+  output y;
+  nand g1(y, a, b);
+endmodule
+`
+	c := parseFix(t, src)
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	d := wantDiag(t, rep, "floating-net", "c")
+	if d.Severity != lint.SeverityWarning {
+		t.Errorf("floating-net severity %v, want warning", d.Severity)
+	}
+	if err := rep.Err(); err != nil {
+		t.Errorf("warnings alone should not be findings, got %v", err)
+	}
+}
+
+func TestRuleDeadCone(t *testing.T) {
+	src := `module fix(a, b, y);
+  input a;
+  input b;
+  output y;
+  wire w2;
+  wire w3;
+  nand g1(y, a, b);
+  nand g3(w2, a, b);
+  nand g4(w3, w2, w2);
+endmodule
+`
+	c := parseFix(t, src)
+	g3 := nodeByPrefix(t, c, "g3")
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "dead-cone", g3.Name)
+	// g4 drives nothing at all: that is the floating-net rule's finding.
+	g4 := nodeByPrefix(t, c, "g4")
+	wantDiag(t, rep, "floating-net", g4.Name)
+	if ds := diagsFor(rep, "dead-cone"); len(ds) != 1 {
+		t.Errorf("dead-cone fired %d times, want 1 (floating nodes excluded): %v", len(ds), ds)
+	}
+}
+
+func TestRuleDoubleLatch(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	r1d, ok := c.Node("r1/D")
+	if !ok {
+		t.Fatal("no r1/D node")
+	}
+	p := netlist.InitialPlacement(c)
+	p.OnEdge[netlist.Edge{From: g1.ID, To: r1d.ID}] = true
+	rep := runLint(t, lint.Input{Circuit: c, Placement: p, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "double-latch", "r1/D")
+	if ds := diagsFor(rep, "unbalanced-cut"); len(ds) != 0 {
+		t.Errorf("balanced double latch also tripped unbalanced-cut: %v", ds)
+	}
+	// The shared invariant: netlist.Placement.Validate rejects the same
+	// placement through the same PathLatchBounds implementation.
+	if err := p.Validate(c); err == nil {
+		t.Error("Placement.Validate accepted a double-latched placement")
+	}
+}
+
+func TestRuleUnbalancedCut(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	a, ok := c.Node("a")
+	if !ok {
+		t.Fatal("no input a")
+	}
+	p := netlist.InitialPlacement(c)
+	delete(p.AtInput, a.ID)
+	rep := runLint(t, lint.Input{Circuit: c, Placement: p, File: fixFile}, lint.Config{})
+	wantDiag(t, rep, "unbalanced-cut", "r1/D")
+	if err := p.Validate(c); err == nil {
+		t.Error("Placement.Validate accepted an unbalanced placement")
+	}
+}
+
+func TestRuleResiliencyWindow(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	lib := c.Lib
+	if lib.BaseLatch.ClkToQ > 1 {
+		t.Fatalf("fixture assumes BaseLatch.ClkToQ ≤ 1, got %g", lib.BaseLatch.ClkToQ)
+	}
+	g1 := nodeByPrefix(t, c, "g1")
+	g2 := nodeByPrefix(t, c, "g2")
+	// Fixed delays: the po_y path costs 7, the r1/D path 1. With
+	// Π = ⟨3,0,4,1⟩ (period 8, window (8,11]), the po_y arrival
+	// 3 + ClkToQ + 7 lands in the window; r1/D stays clean.
+	scheme := clocking.Scheme{Phi1: 3, Gamma1: 0, Phi2: 4, Gamma2: 1}
+	opts := sta.Options{Model: sta.ModelFixed, FixedDelays: map[int]float64{g1.ID: 1, g2.ID: 7}}
+	rep := runLint(t, lint.Input{Circuit: c, Scheme: &scheme, StaOptions: &opts, EDLCost: 1, File: fixFile}, lint.Config{})
+	d := wantDiag(t, rep, "resiliency-window", "po_y")
+	if d.Severity != lint.SeverityWarning {
+		t.Errorf("resiliency-window severity %v, want warning", d.Severity)
+	}
+	if ds := diagsFor(rep, "resiliency-window"); len(ds) != 1 {
+		t.Errorf("resiliency-window fired %d times, want 1: %v", len(ds), ds)
+	}
+}
+
+func TestRuleFlowConservation(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	scheme := clocking.Symmetric(1.0)
+	rep := runLint(t, lint.Input{Circuit: c, Scheme: &scheme, EDLCost: math.Inf(1), File: fixFile}, lint.Config{})
+	ds := diagsFor(rep, "flow-conservation")
+	if len(ds) != 1 {
+		t.Fatalf("flow-conservation fired %d times, want 1: %v", len(ds), rep.Diagnostics)
+	}
+	d := ds[0]
+	if d.Node != "" {
+		t.Errorf("flow-conservation diagnostic anchored at node %q, want circuit level", d.Node)
+	}
+	if d.Pos.File != fixFile {
+		t.Errorf("flow-conservation position %q, want the source file %s", d.Pos, fixFile)
+	}
+	if err := rep.Err(); !errors.Is(err, lint.ErrFindings) {
+		t.Errorf("Err() = %v, want ErrFindings", err)
+	}
+}
+
+func TestConfigValidateAndDisable(t *testing.T) {
+	if err := (lint.Config{Disabled: map[string]bool{"no-such-rule": true}}).Validate(); err == nil {
+		t.Error("Validate accepted an unknown rule ID")
+	}
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g1.Fanin = g1.Fanin[:1]
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile},
+		lint.Config{Disabled: map[string]bool{"width-mismatch": true}})
+	if ds := diagsFor(rep, "width-mismatch"); len(ds) != 0 {
+		t.Errorf("disabled rule still fired: %v", ds)
+	}
+}
+
+func TestErrorsOnlySkipsWarnings(t *testing.T) {
+	src := `module fix(a, b, y);
+  input a;
+  input b;
+  output y;
+  nand g1(y, a, a);
+endmodule
+`
+	c := parseFix(t, src) // input b unused → floating-net warning
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{ErrorsOnly: true})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("ErrorsOnly run produced diagnostics: %v", rep.Diagnostics)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := parseFix(t, cleanSrc)
+	if _, err := lint.Run(ctx, lint.Input{Circuit: c}, lint.Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under a cancelled context = %v, want context.Canceled", err)
+	}
+	if _, err := lint.Run(context.Background(), lint.Input{}, lint.Config{}); err == nil {
+		t.Fatal("Run accepted a nil circuit")
+	}
+}
+
+func TestRulesCatalogue(t *testing.T) {
+	rules := lint.Rules()
+	if len(rules) < 10 {
+		t.Fatalf("catalogue has %d rules, want at least 10", len(rules))
+	}
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		if r.ID == "" || r.Doc == "" || r.Check == nil {
+			t.Errorf("rule %+v is incomplete", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	c := parseFix(t, cleanSrc)
+	g1 := nodeByPrefix(t, c, "g1")
+	g1.Fanin = g1.Fanin[:1]
+	rep := runLint(t, lint.Input{Circuit: c, File: fixFile}, lint.Config{})
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"width-mismatch"`, `"severity": "error"`, `"fix.v"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, sb.String())
+		}
+	}
+	var tb strings.Builder
+	rep.WriteText(&tb)
+	if !strings.Contains(tb.String(), "width-mismatch") {
+		t.Errorf("text output missing the rule ID:\n%s", tb.String())
+	}
+}
+
+// TestSeedBenchmarksNoFindings pins the acceptance criterion: every seed
+// benchmark lints finding-free (warnings — floating gates, dead cones,
+// window masters — are expected; error findings are not).
+func TestSeedBenchmarksNoFindings(t *testing.T) {
+	lib := cell.Default(1.0)
+	for _, prof := range bench.ISCAS89 {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			c, scheme, err := prof.Build(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := lint.Config{}
+			if prof.Gates > 1000 {
+				// The flow pre-check rebuilds the full retiming graph;
+				// bound test time on the big circuits.
+				cfg.Disabled = map[string]bool{"flow-conservation": true}
+			}
+			rep, err := lint.Run(context.Background(), lint.Input{
+				Circuit: c, Scheme: &scheme, EDLCost: 1.0,
+			}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs := rep.Findings(); len(fs) != 0 {
+				t.Fatalf("seed benchmark %s has lint findings:\n%v", prof.Name, fs)
+			}
+		})
+	}
+}
+
+// TestFig4NoFindings lints the paper's worked example.
+func TestFig4NoFindings(t *testing.T) {
+	c := fig4.MustCircuit()
+	scheme := fig4.Scheme()
+	opts := sta.Options{Model: sta.ModelFixed, FixedDelays: fig4.FixedDelays(c)}
+	for _, p := range []*netlist.Placement{nil, fig4.Cut1(c), fig4.Cut2(c)} {
+		rep, err := lint.Run(context.Background(), lint.Input{
+			Circuit: c, Placement: p, Scheme: &scheme, StaOptions: &opts, EDLCost: fig4.EDLOverhead,
+		}, lint.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs := rep.Findings(); len(fs) != 0 {
+			t.Fatalf("fig4 worked example has lint findings:\n%v", fs)
+		}
+	}
+}

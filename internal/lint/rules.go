@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"math"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/rgraph"
+	"relatch/internal/sta"
+)
+
+// maxEDLCost bounds the error-detecting overhead factor far below the
+// point where its Scale-multiplied integer form could overflow the flow
+// solver's magnitude budget.
+const maxEDLCost = 1e9
+
+// registry is the rule catalogue, in execution order: structural rules
+// first (later rules gate on their outcome through the context flags),
+// then placement rules, then the timing-backed previews.
+var registry = []Rule{
+	{
+		ID:       "malformed-structure",
+		Severity: SeverityError,
+		Doc:      "node list, IDs, kinds and fanin pointers are internally consistent",
+		Check:    checkMalformedStructure,
+	},
+	{
+		ID:       "comb-cycle",
+		Severity: SeverityError,
+		Doc:      "no combinational cycles",
+		Check:    checkCombCycle,
+	},
+	{
+		ID:       "multi-driven-net",
+		Severity: SeverityError,
+		Doc:      "every net has a single driver",
+		Check:    checkMultiDriven,
+	},
+	{
+		ID:       "undriven-output",
+		Severity: SeverityError,
+		Doc:      "every primary output has a driver",
+		Check:    checkUndrivenOutput,
+	},
+	{
+		ID:       "width-mismatch",
+		Severity: SeverityError,
+		Doc:      "gate fanin counts match their cell's arity",
+		Check:    checkWidthMismatch,
+	},
+	{
+		ID:       "zero-delay-cell",
+		Severity: SeverityError,
+		Doc:      "cell delay tables are complete, finite and positive",
+		Check:    checkZeroDelayCell,
+	},
+	{
+		ID:       "floating-net",
+		Severity: SeverityWarning,
+		Doc:      "no net is left undriven into nothing (node without fanout)",
+		Check:    checkFloatingNet,
+	},
+	{
+		ID:       "dead-cone",
+		Severity: SeverityWarning,
+		Doc:      "no logic cone is unreachable from every primary output",
+		Check:    checkDeadCone,
+	},
+	{
+		ID:       "double-latch",
+		Severity: SeverityError,
+		Doc:      "no input→output path crosses more than one slave latch",
+		Check:    checkDoubleLatch,
+	},
+	{
+		ID:       "unbalanced-cut",
+		Severity: SeverityError,
+		Doc:      "every input→output path crosses the same single slave latch count",
+		Check:    checkUnbalancedCut,
+	},
+	{
+		ID:       "resiliency-window",
+		Severity: SeverityWarning,
+		Doc:      "preview of masters whose arrival lands in the resiliency window",
+		Check:    checkResiliencyWindow,
+	},
+	{
+		ID:       "flow-conservation",
+		Severity: SeverityError,
+		Doc:      "the retiming LP's flow dual passes the solver admission checks",
+		Check:    checkFlowConservation,
+	},
+}
+
+func checkMalformedStructure(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, is := range cx.issues {
+		out = append(out, r.at(cx, is.node, "%s", is.msg))
+	}
+	return out
+}
+
+func checkCombCycle(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for i, nd := range cx.C.Nodes {
+		if nd != nil && cx.inCycle[i] {
+			out = append(out, r.at(cx, nd, "%s %q is part of a combinational cycle", nd.Kind, nd.Name))
+		}
+	}
+	return out
+}
+
+func checkMultiDriven(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	seen := make(map[string]bool, len(cx.C.Nodes))
+	for _, nd := range cx.C.Nodes {
+		if nd == nil {
+			continue
+		}
+		if seen[nd.Name] {
+			out = append(out, r.at(cx, nd, "net %q has more than one driver", nd.Name))
+		}
+		seen[nd.Name] = true
+		if nd.Kind == netlist.KindOutput && len(nd.Fanin) > 1 {
+			out = append(out, r.at(cx, nd, "output %q is driven by %d nets, want 1", nd.Name, len(nd.Fanin)))
+		}
+	}
+	return out
+}
+
+func checkUndrivenOutput(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, nd := range cx.C.Nodes {
+		if nd != nil && nd.Kind == netlist.KindOutput && len(nd.Fanin) == 0 {
+			out = append(out, r.at(cx, nd, "output %q has no driver", nd.Name))
+		}
+	}
+	return out
+}
+
+func checkWidthMismatch(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, nd := range cx.C.Nodes {
+		if nd == nil || nd.Kind != netlist.KindGate || nd.Cell == nil {
+			continue
+		}
+		if want := nd.Cell.Func.Arity(); len(nd.Fanin) != want {
+			out = append(out, r.at(cx, nd, "gate %q has %d fanins, cell %s wants %d",
+				nd.Name, len(nd.Fanin), nd.Cell.Name, want))
+		}
+	}
+	return out
+}
+
+func checkZeroDelayCell(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	// One diagnostic per offending cell, anchored at its first user: a
+	// bad cell shared by hundreds of gates is one problem, not hundreds.
+	seen := make(map[*cell.Cell]bool)
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	for _, nd := range cx.C.Nodes {
+		if nd == nil || nd.Kind != netlist.KindGate || nd.Cell == nil || seen[nd.Cell] {
+			continue
+		}
+		c := nd.Cell
+		seen[c] = true
+		arity := c.Func.Arity()
+		if len(c.IntrinsicRise) != arity || len(c.IntrinsicFall) != arity {
+			out = append(out, r.at(cx, nd, "cell %s delay table has %d/%d pin entries for arity %d",
+				c.Name, len(c.IntrinsicRise), len(c.IntrinsicFall), arity))
+			continue
+		}
+		if bad(c.Resistance) || bad(c.SlewFactor) {
+			out = append(out, r.at(cx, nd, "cell %s has invalid load/slew coefficients (R=%g, S=%g)",
+				c.Name, c.Resistance, c.SlewFactor))
+		}
+		for pin := 0; pin < arity; pin++ {
+			rise, fall := c.IntrinsicRise[pin], c.IntrinsicFall[pin]
+			switch {
+			case bad(rise) || bad(fall):
+				out = append(out, r.at(cx, nd, "cell %s pin %d has negative or non-finite delay (rise=%g, fall=%g)",
+					c.Name, pin, rise, fall))
+			case rise == 0 && fall == 0:
+				out = append(out, r.at(cx, nd, "cell %s pin %d has zero delay", c.Name, pin))
+			}
+		}
+	}
+	return out
+}
+
+func checkFloatingNet(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for i, nd := range cx.C.Nodes {
+		if nd == nil || nd.Kind == netlist.KindOutput {
+			continue
+		}
+		if len(cx.fanout[i]) == 0 {
+			out = append(out, r.at(cx, nd, "%s %q drives nothing", nd.Kind, nd.Name))
+		}
+	}
+	return out
+}
+
+func checkDeadCone(cx *Context, r Rule) []Diagnostic {
+	var out []Diagnostic
+	for i, nd := range cx.C.Nodes {
+		if nd == nil || nd.Kind == netlist.KindOutput {
+			continue
+		}
+		// Floating nodes (no fanout at all) are the floating-net rule's
+		// business; this one flags connected logic that still reaches no
+		// output — a dead cone feeding other dead logic.
+		if len(cx.fanout[i]) > 0 && !cx.reaches[i] {
+			out = append(out, r.at(cx, nd, "%s %q reaches no primary output (dead logic cone)", nd.Kind, nd.Name))
+		}
+	}
+	return out
+}
+
+// pathBounds runs the shared Section III invariant when the structure
+// supports it; nil otherwise.
+func (cx *Context) pathBounds() (minL, maxL []int, ok bool) {
+	if !cx.structOK || !cx.acyclic {
+		return nil, nil, false
+	}
+	minL, maxL, err := cx.placement().PathLatchBounds(cx.C)
+	if err != nil {
+		return nil, nil, false
+	}
+	return minL, maxL, true
+}
+
+func checkDoubleLatch(cx *Context, r Rule) []Diagnostic {
+	_, maxL, ok := cx.pathBounds()
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	for _, o := range cx.C.Outputs {
+		if maxL[o.ID] > 1 {
+			out = append(out, r.at(cx, o, "a path to output %q crosses %d slave latches, want exactly 1", o.Name, maxL[o.ID]))
+		}
+	}
+	return out
+}
+
+func checkUnbalancedCut(cx *Context, r Rule) []Diagnostic {
+	minL, maxL, ok := cx.pathBounds()
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	for _, o := range cx.C.Outputs {
+		switch {
+		case minL[o.ID] == netlist.PathLatchUnset:
+			// Unreachable output: the undriven-output / dead-cone rules own it.
+		case minL[o.ID] != maxL[o.ID]:
+			out = append(out, r.at(cx, o, "paths to output %q cross between %d and %d slave latches, want exactly 1",
+				o.Name, minL[o.ID], maxL[o.ID]))
+		case minL[o.ID] == 0:
+			out = append(out, r.at(cx, o, "no path to output %q crosses a slave latch", o.Name))
+		}
+	}
+	return out
+}
+
+// timingView builds the latch-aware arrival view behind the timing
+// previews; ok is false when prerequisites are missing (no scheme, no
+// library, corrupted structure or stale topo cache).
+func (cx *Context) timingView() (*sta.Latched, bool) {
+	if cx.In.Scheme == nil || cx.C.Lib == nil || !cx.topoCacheOK {
+		return nil, false
+	}
+	if err := cx.In.Scheme.Validate(); err != nil {
+		return nil, false
+	}
+	t, err := sta.AnalyzeChecked(cx.C, cx.staOptions())
+	if err != nil {
+		return nil, false
+	}
+	return sta.AnalyzeLatched(t, cx.placement(), *cx.In.Scheme, cx.C.Lib.BaseLatch), true
+}
+
+func checkResiliencyWindow(cx *Context, r Rule) []Diagnostic {
+	la, ok := cx.timingView()
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	for _, o := range la.WindowMasters() {
+		out = append(out, r.at(cx, o,
+			"arrival %.4g at master %q lands in the resiliency window at period %.4g — the master would need error detection",
+			la.EndpointArrival(o), o.Name, cx.In.Scheme.Period()))
+	}
+	return out
+}
+
+func checkFlowConservation(cx *Context, r Rule) []Diagnostic {
+	if cx.In.Scheme == nil || cx.C.Lib == nil || !cx.topoCacheOK {
+		return nil
+	}
+	if err := cx.In.Scheme.Validate(); err != nil {
+		return nil
+	}
+	c := cx.In.EDLCost
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 || c > maxEDLCost {
+		return []Diagnostic{r.at(cx, nil,
+			"EDL cost factor c = %g, want finite, non-negative and at most %g", c, float64(maxEDLCost))}
+	}
+	t, err := sta.AnalyzeChecked(cx.C, cx.staOptions())
+	if err != nil {
+		return nil
+	}
+	g, err := rgraph.Build(cx.C, t, rgraph.Config{
+		Scheme:         *cx.In.Scheme,
+		Latch:          cx.C.Lib.BaseLatch,
+		EDLCost:        cx.In.EDLCost,
+		ResilientAware: true,
+	})
+	if err != nil {
+		return []Diagnostic{r.at(cx, nil, "retiming graph construction failed: %v", err)}
+	}
+	if err := g.PreflightLP(); err != nil {
+		return []Diagnostic{r.at(cx, nil, "retiming LP flow dual rejected: %v", err)}
+	}
+	return nil
+}

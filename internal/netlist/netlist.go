@@ -14,6 +14,32 @@ import (
 	"relatch/internal/cell"
 )
 
+// Pos is a source position (file:line:col) attached to circuit elements
+// parsed from a netlist file, so diagnostics can point back at the
+// declaration that introduced a net or instance. The zero value means
+// "no source position" (programmatically built circuits).
+type Pos struct {
+	File string
+	Line int // 1-based; 0 means unknown
+	Col  int // 1-based; 0 means unknown
+}
+
+// IsZero reports whether the position carries no source information.
+func (p Pos) IsZero() bool { return p.File == "" && p.Line == 0 && p.Col == 0 }
+
+// String renders "file:line:col", omitting unknown parts.
+func (p Pos) String() string {
+	switch {
+	case p.IsZero():
+		return ""
+	case p.File == "":
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	case p.Line == 0:
+		return p.File
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
 // NodeKind classifies nodes of the cut combinational cloud.
 type NodeKind int
 
@@ -44,6 +70,10 @@ type Node struct {
 	ID   int
 	Name string
 	Kind NodeKind
+
+	// Pos is the source position of the declaration this node came from,
+	// when the circuit was parsed from a netlist file; zero otherwise.
+	Pos Pos
 
 	// Cell is the bound library cell; nil for inputs and outputs.
 	Cell *cell.Cell
@@ -339,6 +369,7 @@ func (c *Circuit) Clone() *Circuit {
 	for i, n := range c.Nodes {
 		out.Nodes[i] = &Node{
 			ID: n.ID, Name: n.Name, Kind: n.Kind, Cell: n.Cell, Flop: n.Flop,
+			Pos: n.Pos,
 		}
 	}
 	for i, n := range c.Nodes {

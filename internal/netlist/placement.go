@@ -100,21 +100,34 @@ func (p *Placement) LatchOnEdge(u, v *Node) bool {
 	return p.OnEdge[Edge{From: u.ID, To: v.ID}]
 }
 
-// Validate checks retiming legality per Section III: every path from a
-// cloud input to a cloud output must cross exactly one slave latch. It
-// runs a single topological pass computing the min and max latch count
-// over paths reaching each node.
-func (p *Placement) Validate(c *Circuit) error {
+// PathLatchUnset marks nodes unreachable from any cloud input in the
+// bounds returned by PathLatchBounds.
+const PathLatchUnset = -1
+
+// PathLatchBounds runs a single topological pass computing, for every
+// node, the minimum and maximum number of slave latches crossed on any
+// input→node path under this placement. Unreachable nodes hold
+// PathLatchUnset in both slices. The topological order is recomputed
+// (rather than read from the Build-time cache) so the pass stays sound
+// after in-place edits; a combinational cycle surfaces as an error.
+//
+// This is the single implementation of the Section III path-latch
+// invariant: Placement.Validate and the lint double-latch and
+// unbalanced-cut rules all interpret these bounds.
+func (p *Placement) PathLatchBounds(c *Circuit) (minL, maxL []int, err error) {
 	if p == nil {
-		return fmt.Errorf("netlist: nil placement")
+		return nil, nil, fmt.Errorf("netlist: nil placement")
 	}
-	const unset = -1
-	minL := make([]int, len(c.Nodes))
-	maxL := make([]int, len(c.Nodes))
+	topo, err := c.computeTopo()
+	if err != nil {
+		return nil, nil, err
+	}
+	minL = make([]int, len(c.Nodes))
+	maxL = make([]int, len(c.Nodes))
 	for i := range minL {
-		minL[i], maxL[i] = unset, unset
+		minL[i], maxL[i] = PathLatchUnset, PathLatchUnset
 	}
-	for _, n := range c.topo {
+	for _, n := range topo {
 		if n.Kind == KindInput {
 			minL[n.ID], maxL[n.ID] = 0, 0
 			if p.AtInput[n.ID] {
@@ -123,19 +136,41 @@ func (p *Placement) Validate(c *Circuit) error {
 			continue
 		}
 		for _, f := range n.Fanin {
-			if minL[f.ID] == unset {
-				return fmt.Errorf("netlist: node %q unreachable from inputs", f.Name)
+			if minL[f.ID] == PathLatchUnset {
+				continue // unreachable fanin contributes no path
 			}
 			lat := 0
 			if p.OnEdge[Edge{From: f.ID, To: n.ID}] {
 				lat = 1
 			}
 			lo, hi := minL[f.ID]+lat, maxL[f.ID]+lat
-			if minL[n.ID] == unset || lo < minL[n.ID] {
+			if minL[n.ID] == PathLatchUnset || lo < minL[n.ID] {
 				minL[n.ID] = lo
 			}
 			if hi > maxL[n.ID] {
 				maxL[n.ID] = hi
+			}
+		}
+	}
+	return minL, maxL, nil
+}
+
+// Validate checks retiming legality per Section III: every path from a
+// cloud input to a cloud output must cross exactly one slave latch. The
+// bounds come from PathLatchBounds, the shared implementation of the
+// invariant.
+func (p *Placement) Validate(c *Circuit) error {
+	minL, maxL, err := p.PathLatchBounds(c)
+	if err != nil {
+		return err
+	}
+	for _, n := range c.Nodes {
+		if n.Kind == KindInput {
+			continue
+		}
+		for _, f := range n.Fanin {
+			if f != nil && minL[f.ID] == PathLatchUnset {
+				return fmt.Errorf("netlist: node %q unreachable from inputs", f.Name)
 			}
 		}
 	}

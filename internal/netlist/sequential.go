@@ -40,6 +40,10 @@ type SeqNode struct {
 	Cell   *cell.Cell
 	Fanin  []*SeqNode
 	Fanout []*SeqNode
+
+	// Pos is the source position of the declaration this node came from,
+	// when the design was parsed from a netlist file; zero otherwise.
+	Pos Pos
 }
 
 // SeqCircuit is a flip-flop based sequential design.
@@ -154,7 +158,7 @@ func (c *SeqCircuit) Clone() *SeqCircuit {
 	out := &SeqCircuit{Name: c.Name, Lib: c.Lib}
 	out.Nodes = make([]*SeqNode, len(c.Nodes))
 	for i, n := range c.Nodes {
-		out.Nodes[i] = &SeqNode{ID: n.ID, Name: n.Name, Kind: n.Kind, Cell: n.Cell}
+		out.Nodes[i] = &SeqNode{ID: n.ID, Name: n.Name, Kind: n.Kind, Cell: n.Cell, Pos: n.Pos}
 	}
 	for i, n := range c.Nodes {
 		cn := out.Nodes[i]
@@ -248,10 +252,12 @@ func (c *SeqCircuit) Cut() (*Circuit, error) {
 	for _, ff := range c.FFs {
 		flopIndex[ff] = flop
 		mapped[ff.ID] = b.Input(ff.Name+"/Q", flop)
+		mapped[ff.ID].Pos = ff.Pos
 		flop++
 	}
 	for _, pi := range c.PIs {
 		mapped[pi.ID] = b.Input(pi.Name, flop)
+		mapped[pi.ID].Pos = pi.Pos
 		flop++
 	}
 
@@ -283,6 +289,7 @@ func (c *SeqCircuit) Cut() (*Circuit, error) {
 				fanin[i] = mapped[f.ID]
 			}
 			mapped[g.ID] = b.Gate(g.Name, g.Cell, fanin...)
+			mapped[g.ID].Pos = g.Pos
 			progress = true
 		}
 		if !progress {
@@ -297,14 +304,14 @@ func (c *SeqCircuit) Cut() (*Circuit, error) {
 		if mapped[d.ID] == nil {
 			return nil, fmt.Errorf("netlist: flop %q D driver %q not mapped", ff.Name, d.Name)
 		}
-		b.Output(ff.Name+"/D", flopIndex[ff], mapped[d.ID])
+		b.Output(ff.Name+"/D", flopIndex[ff], mapped[d.ID]).Pos = ff.Pos
 	}
 	for _, po := range c.POs {
 		d := po.Fanin[0]
 		if mapped[d.ID] == nil {
 			return nil, fmt.Errorf("netlist: PO %q driver %q not mapped", po.Name, d.Name)
 		}
-		b.Output(po.Name, flop, mapped[d.ID])
+		b.Output(po.Name, flop, mapped[d.ID]).Pos = po.Pos
 		flop++
 	}
 	return b.Build()

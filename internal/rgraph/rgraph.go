@@ -146,6 +146,11 @@ func Build(c *netlist.Circuit, t *sta.Timing, cfg Config) (*Graph, error) {
 	if err := cfg.Scheme.Validate(); err != nil {
 		return nil, err
 	}
+	// A NaN/Inf/negative c would poison the integer objective coefficient
+	// (cScaled) mid-lowering; reject it before any graph work.
+	if v := cfg.EDLCost; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return nil, fmt.Errorf("rgraph: EDL cost factor c = %g, want finite and non-negative", v)
+	}
 	g := &Graph{
 		C: c, T: t, Cfg: cfg,
 		Vm: make(map[int]bool), Vn: make(map[int]bool), Vr: make(map[int]bool),
@@ -562,6 +567,18 @@ func (g *Graph) NumVariables() int { return g.numVars }
 
 // NumConstraints returns the LP constraint count.
 func (g *Graph) NumConstraints() int { return g.lp.NumConstraints() }
+
+// PreflightLP runs the flow-solver admission checks on the assembled LP
+// without solving it: the dual transshipment network must conserve flow
+// (flow.ErrUnbalanced otherwise) and stay inside the solver's magnitude
+// bounds (flow.ErrOverflow). The lint flow-conservation rule calls this
+// to reject a doomed netlist before a solve is attempted.
+func (g *Graph) PreflightLP() error {
+	if err := g.lp.Preflight(); err != nil {
+		return fmt.Errorf("rgraph: %w", err)
+	}
+	return nil
+}
 
 // Solve is SolveCtx under context.Background().
 func (g *Graph) Solve(method flow.Method) (*Solution, error) {

@@ -83,6 +83,20 @@ func (la *Latched) EDMasters() map[int]bool {
 	return ed
 }
 
+// WindowMasters returns the endpoints whose arrival lands inside the
+// scheme's resiliency window under this placement — masters that would
+// need error detection. This is the cheap bound behind the lint
+// resiliency-window preview: one latch-aware arrival pass, no retiming.
+func (la *Latched) WindowMasters() []*netlist.Node {
+	var out []*netlist.Node
+	for _, o := range la.T.C.Outputs {
+		if la.Scheme.WindowContains(la.arrival[o.ID]) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
 // timingEpsilon absorbs float rounding when comparing against clock
 // boundaries (delays here are O(1) ns).
 const timingEpsilon = 1e-9

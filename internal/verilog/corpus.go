@@ -1,0 +1,26 @@
+package verilog
+
+// CrasherCorpus holds inputs that exercised pathological parser states.
+// It is exported so downstream fuzz targets (the lint fuzzer in
+// internal/lint) can seed from the same regression corpus: any input the
+// parser accepts must also pass through the linter without panicking.
+var CrasherCorpus = []string{
+	"",
+	"module",
+	"module ;",
+	"module m",
+	"module m(",
+	"module m(a",
+	"module m(a,);",
+	"module m(a); input a;",
+	"module m(a); input a; endmodule extra",
+	"module m(y); output y; endmodule",
+	"module m(y); output y; nand g1(y; endmodule",
+	"module m(y); output y; nand g1; endmodule",
+	"module m(y); output y; nand (y, y); endmodule",
+	"module m(a, y); input a; output y; dff r1(clk, y, a, a); endmodule",
+	"/*",
+	"// only a comment",
+	"module m(a, y); input a; output y; nand g1(y, a, a) endmodule",
+	"module m(a, y); input a; output y; wire w; nand g1(w, a, w); nand g2(y, w, a); endmodule",
+}

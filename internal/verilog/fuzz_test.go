@@ -9,28 +9,9 @@ import (
 	"relatch/internal/verilog"
 )
 
-// crashers are inputs that exercised pathological parser states; kept as
-// an explicit regression corpus so the guards that tamed them stay.
-var crashers = []string{
-	"",
-	"module",
-	"module ;",
-	"module m",
-	"module m(",
-	"module m(a",
-	"module m(a,);",
-	"module m(a); input a;",
-	"module m(a); input a; endmodule extra",
-	"module m(y); output y; endmodule",
-	"module m(y); output y; nand g1(y; endmodule",
-	"module m(y); output y; nand g1; endmodule",
-	"module m(y); output y; nand (y, y); endmodule",
-	"module m(a, y); input a; output y; dff r1(clk, y, a, a); endmodule",
-	"/*",
-	"// only a comment",
-	"module m(a, y); input a; output y; nand g1(y, a, a) endmodule",
-	"module m(a, y); input a; output y; wire w; nand g1(w, a, w); nand g2(y, w, a); endmodule",
-}
+// crashers aliases the exported regression corpus (see corpus.go) so the
+// guards that tamed those pathological parser states stay pinned here.
+var crashers = verilog.CrasherCorpus
 
 // FuzzParse feeds arbitrary text to the parser. The parser must either
 // return an error or produce a design the writer can round-trip; it must

@@ -1,0 +1,109 @@
+package verilog_test
+
+import (
+	"strings"
+	"testing"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+	"relatch/internal/verilog"
+)
+
+// TestParseNamedPositions pins that every parsed net and instance carries
+// the file:line:col of its declaration, and that Cut propagates those
+// positions onto the cloud nodes it derives.
+func TestParseNamedPositions(t *testing.T) {
+	src := `module m(a, b, y);
+  input a;
+  input b;
+  output y;
+  wire w;
+  nand g1(w, a, b);
+  dff r1(clk, q, w);
+  nand g2(y, q, b);
+endmodule
+`
+	lib := cell.Default(1.0)
+	seq, err := verilog.ParseNamed(strings.NewReader(src), lib, "m.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate instances are flattened into name__N tree nodes, so look nodes
+	// up by declared-name prefix.
+	find := func(prefix string) *netlist.SeqNode {
+		for _, n := range seq.Nodes {
+			if n.Name == prefix || strings.HasPrefix(n.Name, prefix+"__") {
+				return n
+			}
+		}
+		t.Fatalf("no node with prefix %q in parsed design", prefix)
+		return nil
+	}
+	byName := map[string]*netlist.SeqNode{}
+	want := map[string]netlist.Pos{
+		"a":  {File: "m.v", Line: 2, Col: 9},
+		"b":  {File: "m.v", Line: 3, Col: 9},
+		"g1": {File: "m.v", Line: 6, Col: 3},
+		"r1": {File: "m.v", Line: 7, Col: 3},
+		"g2": {File: "m.v", Line: 8, Col: 3},
+	}
+	for name, pos := range want {
+		n := find(name)
+		byName[name] = n
+		if n.Pos != pos {
+			t.Errorf("node %q (%q): pos %v, want %v", name, n.Name, n.Pos, pos)
+		}
+	}
+	// The PO wrapper node points at the output declaration.
+	if len(seq.POs) != 1 {
+		t.Fatalf("got %d POs, want 1", len(seq.POs))
+	}
+	if got := seq.POs[0].Pos; got != (netlist.Pos{File: "m.v", Line: 4, Col: 10}) {
+		t.Errorf("PO pos %v, want m.v:4:10", got)
+	}
+
+	// Cut must carry positions onto the cloud nodes.
+	cloud, err := seq.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudPos := make(map[string]netlist.Pos)
+	for _, n := range cloud.Nodes {
+		cloudPos[n.Name] = n.Pos
+	}
+	if cloudPos["r1/Q"] != byName["r1"].Pos {
+		t.Errorf("cloud r1/Q pos %v, want flop pos %v", cloudPos["r1/Q"], byName["r1"].Pos)
+	}
+	if cloudPos[byName["g1"].Name] != byName["g1"].Pos {
+		t.Errorf("cloud %s pos %v, want gate pos %v", byName["g1"].Name, cloudPos[byName["g1"].Name], byName["g1"].Pos)
+	}
+
+	// Parse (no name) keeps line/col but no file, and the Pos renders as
+	// a clickable-style string when complete.
+	anon, err := verilog.ParseString(src, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range anon.Nodes {
+		if n.Pos.File != "" {
+			t.Fatalf("node %q: unexpected file %q from anonymous parse", n.Name, n.Pos.File)
+		}
+	}
+	if s := byName["g1"].Pos.String(); s != "m.v:6:3" {
+		t.Errorf("Pos.String() = %q, want m.v:6:3", s)
+	}
+}
+
+// TestParseErrorsCarryPosition pins that syntax errors name the offending
+// location.
+func TestParseErrorsCarryPosition(t *testing.T) {
+	lib := cell.Default(1.0)
+	_, err := verilog.ParseNamed(strings.NewReader("module m(a, y);\n  input a;\n  output y;\n  nand g1(y, a, a)\nendmodule\n"), lib, "bad.v")
+	if err == nil {
+		t.Fatal("want error for missing semicolon")
+	}
+	if !strings.Contains(err.Error(), "bad.v:5:") {
+		t.Errorf("error %q does not carry a bad.v position", err)
+	}
+}

@@ -34,16 +34,25 @@ var primitiveFuncs = map[string]struct {
 }
 
 // Parse reads one module and builds a flip-flop based circuit over lib.
+// Source positions on the resulting nodes carry no file name; use
+// ParseNamed when the origin is a file.
 func Parse(r io.Reader, lib *cell.Library) (*netlist.SeqCircuit, error) {
+	return ParseNamed(r, lib, "")
+}
+
+// ParseNamed is Parse with a source name (typically the file path)
+// recorded in the netlist.Pos of every parsed net and instance, so
+// downstream diagnostics can point back at the declaration.
+func ParseNamed(r io.Reader, lib *cell.Library, name string) (*netlist.SeqCircuit, error) {
 	src, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	toks, err := tokenize(string(src))
+	toks, err := tokenize(string(src), name)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, lib: lib}
+	p := &parser{toks: toks, lib: lib, file: name}
 	return p.module()
 }
 
@@ -52,52 +61,96 @@ func ParseString(src string, lib *cell.Library) (*netlist.SeqCircuit, error) {
 	return Parse(strings.NewReader(src), lib)
 }
 
+// token is one lexeme with its 1-based source position.
+type token struct {
+	text      string
+	line, col int
+}
+
 // tokenize splits the source into identifiers and punctuation, stripping
-// // and /* */ comments.
-func tokenize(src string) ([]string, error) {
-	var toks []string
+// // and /* */ comments, recording the line and column of every token.
+func tokenize(src, file string) ([]token, error) {
+	var toks []token
 	i := 0
+	line, col := 1, 1
+	// advance consumes n bytes, tracking line/column.
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '/' && i+1 < len(src) && src[i+1] == '/':
-			for i < len(src) && src[i] != '\n' {
-				i++
+			j := i
+			for j < len(src) && src[j] != '\n' {
+				j++
 			}
+			advance(j - i)
 		case c == '/' && i+1 < len(src) && src[i+1] == '*':
 			end := strings.Index(src[i+2:], "*/")
 			if end < 0 {
-				return nil, fmt.Errorf("verilog: unterminated block comment")
+				return nil, fmt.Errorf("verilog: %s: unterminated block comment", posString(file, line, col))
 			}
-			i += end + 4
+			advance(end + 4)
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
-			i++
+			advance(1)
 		case c == '(' || c == ')' || c == ',' || c == ';':
-			toks = append(toks, string(c))
-			i++
+			toks = append(toks, token{text: string(c), line: line, col: col})
+			advance(1)
 		default:
 			j := i
 			for j < len(src) && !strings.ContainsRune(" \t\n\r(),;", rune(src[j])) {
 				j++
 			}
-			toks = append(toks, src[i:j])
-			i = j
+			toks = append(toks, token{text: src[i:j], line: line, col: col})
+			advance(j - i)
 		}
 	}
 	return toks, nil
 }
 
+// posString renders a position for an error message ("file:line:col" or
+// "line:col" when the source has no name).
+func posString(file string, line, col int) string {
+	if file == "" {
+		return fmt.Sprintf("%d:%d", line, col)
+	}
+	return fmt.Sprintf("%s:%d:%d", file, line, col)
+}
+
 type parser struct {
-	toks []string
+	toks []token
 	pos  int
 	lib  *cell.Library
+	file string
 }
 
 func (p *parser) peek() string {
 	if p.pos >= len(p.toks) {
 		return ""
 	}
-	return p.toks[p.pos]
+	return p.toks[p.pos].text
+}
+
+// peekPos returns the position of the upcoming token (or of the last one
+// at end of input), for error messages.
+func (p *parser) peekPos() netlist.Pos {
+	i := p.pos
+	if i >= len(p.toks) {
+		i = len(p.toks) - 1
+	}
+	if i < 0 {
+		return netlist.Pos{File: p.file}
+	}
+	return netlist.Pos{File: p.file, Line: p.toks[i].line, Col: p.toks[i].col}
 }
 
 func (p *parser) next() string {
@@ -106,9 +159,21 @@ func (p *parser) next() string {
 	return t
 }
 
+// nextTok returns the upcoming token with its position.
+func (p *parser) nextTok() token {
+	if p.pos >= len(p.toks) {
+		p.pos++
+		return token{}
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
 func (p *parser) expect(t string) error {
+	at := p.peekPos()
 	if got := p.next(); got != t {
-		return fmt.Errorf("verilog: expected %q, got %q (token %d)", t, got, p.pos)
+		return fmt.Errorf("verilog: %s: expected %q, got %q", at, t, got)
 	}
 	return nil
 }
@@ -117,14 +182,14 @@ func (p *parser) expect(t string) error {
 // is explicitly bounded by the token count: every iteration must consume
 // tokens, so exceeding the budget means the parser stopped advancing on a
 // truncated or malformed input and must error rather than spin.
-func (p *parser) identList() ([]string, error) {
-	var ids []string
+func (p *parser) identList() ([]token, error) {
+	var ids []token
 	for iter := 0; ; iter++ {
 		if iter > len(p.toks)+1 {
 			return nil, fmt.Errorf("verilog: identifier list parser stopped advancing (token %d)", p.pos)
 		}
-		id := p.next()
-		if id == "" {
+		id := p.nextTok()
+		if id.text == "" {
 			return nil, fmt.Errorf("verilog: unexpected end of input in list")
 		}
 		ids = append(ids, id)
@@ -133,7 +198,7 @@ func (p *parser) identList() ([]string, error) {
 		case ";":
 			return ids, nil
 		default:
-			return nil, fmt.Errorf("verilog: malformed identifier list near %q", id)
+			return nil, fmt.Errorf("verilog: malformed identifier list near %q", id.text)
 		}
 	}
 }
@@ -144,6 +209,7 @@ type instance struct {
 	prim string
 	name string
 	args []string
+	pos  netlist.Pos // position of the primitive keyword
 }
 
 // module parses `module name (ports); input...; output...; wire...;
@@ -169,7 +235,7 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 		return nil, err
 	}
 
-	var inputs, outputs []string
+	var inputs, outputs []token
 	var insts []instance
 	// Bounded like identList: a statement consumes at least one token, so
 	// more iterations than tokens means no progress.
@@ -177,6 +243,7 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 		if iter > len(p.toks)+1 {
 			return nil, fmt.Errorf("verilog: module parser stopped advancing (token %d)", p.pos)
 		}
+		at := p.peekPos()
 		switch t := p.next(); t {
 		case "endmodule":
 			return p.build(name, inputs, outputs, insts)
@@ -199,7 +266,7 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 		case "":
 			return nil, fmt.Errorf("verilog: missing endmodule")
 		default:
-			inst := instance{prim: strings.ToLower(t), name: p.next()}
+			inst := instance{prim: strings.ToLower(t), name: p.next(), pos: at}
 			if err := p.expect("("); err != nil {
 				return nil, err
 			}
@@ -230,10 +297,13 @@ func (p *parser) module() (*netlist.SeqCircuit, error) {
 // build resolves instances into a SeqCircuit. Gate instances may appear
 // in any order; resolution happens through a signal table with deferred
 // fanin hookup via an intermediate representation.
-func (p *parser) build(name string, inputs, outputs []string, insts []instance) (*netlist.SeqCircuit, error) {
+func (p *parser) build(name string, inputs, outputs []token, insts []instance) (*netlist.SeqCircuit, error) {
 	b := netlist.NewSeqBuilder(name, p.lib)
 	signal := make(map[string]*netlist.SeqNode)
 	clocks := make(map[string]bool)
+	tokPos := func(t token) netlist.Pos {
+		return netlist.Pos{File: p.file, Line: t.line, Col: t.col}
+	}
 
 	// Output-aliasing buffers (the Write counterpart emits
 	// `buf <net>_drv(<net>, <src>)` to give a primary output its own
@@ -241,7 +311,7 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 	// fixpoint on gate count.
 	isOutput := make(map[string]bool, len(outputs))
 	for _, o := range outputs {
-		isOutput[o] = true
+		isOutput[o.text] = true
 	}
 	alias := make(map[string]string)
 	var kept []instance
@@ -267,7 +337,7 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 	}
 
 	for _, in := range inputs {
-		signal[in] = nil // reserved; materialized below unless a clock
+		signal[in.text] = nil // reserved; materialized below unless a clock
 	}
 	// Identify clock nets: first argument of every dff.
 	for _, inst := range insts {
@@ -279,8 +349,10 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 		}
 	}
 	for _, in := range inputs {
-		if !clocks[in] {
-			signal[in] = b.PI(in)
+		if !clocks[in.text] {
+			pi := b.PI(in.text)
+			pi.Pos = tokPos(in)
+			signal[in.text] = pi
 		}
 	}
 	// Flops next: their Q nets become available as sources.
@@ -295,6 +367,7 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 		}
 		q, d := inst.args[1], inst.args[2]
 		ff := b.FF(inst.name)
+		ff.Pos = inst.pos
 		if _, dup := signal[q]; dup && signal[q] != nil {
 			return nil, fmt.Errorf("verilog: net %s driven twice", q)
 		}
@@ -338,7 +411,7 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 			for i, a := range g.inst.args[1:] {
 				fanin[i] = signal[a]
 			}
-			out, err := p.emitTree(b, g.inst.name, prim.base, prim.inverted, fanin, &emitted)
+			out, err := p.emitTree(b, g.inst.name, prim.base, prim.inverted, fanin, &emitted, g.inst.pos)
 			if err != nil {
 				return nil, err
 			}
@@ -367,16 +440,16 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 		b.SetD(f.ff, d)
 	}
 	for _, out := range outputs {
-		src, name := out, "po_"+out
-		if a, ok := alias[out]; ok {
+		src, name := out.text, "po_"+out.text
+		if a, ok := alias[out.text]; ok {
 			// The aliased name is free to reuse (no gate carries it).
-			src, name = a, out
+			src, name = a, out.text
 		}
 		d, ok := signal[src]
 		if !ok || d == nil {
-			return nil, fmt.Errorf("verilog: undriven output %s", out)
+			return nil, fmt.Errorf("verilog: %s: undriven output %s", tokPos(out), out.text)
 		}
-		b.PO(name, d)
+		b.PO(name, d).Pos = tokPos(out)
 	}
 	return b.Build()
 }
@@ -384,7 +457,7 @@ func (p *parser) build(name string, inputs, outputs []string, insts []instance) 
 // emitTree maps a wide primitive onto library cells: exact-arity cells
 // when available, otherwise a balanced tree of 2-input cells, with a
 // final inverter for the inverted forms.
-func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted bool, fanin []*netlist.SeqNode, emitted *int) (*netlist.SeqNode, error) {
+func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted bool, fanin []*netlist.SeqNode, emitted *int, pos netlist.Pos) (*netlist.SeqNode, error) {
 	gname := func() string {
 		*emitted++
 		return fmt.Sprintf("%s__%d", name, *emitted)
@@ -397,7 +470,9 @@ func (p *parser) emitTree(b *netlist.SeqBuilder, name, base string, inverted boo
 		if err != nil {
 			return nil, fmt.Errorf("verilog: gate %s: %w", name, err)
 		}
-		return b.Gate(gname(), c, fin...), nil
+		g := b.Gate(gname(), c, fin...)
+		g.Pos = pos
+		return g, nil
 	}
 
 	if base == "buf" {
