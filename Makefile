@@ -1,8 +1,10 @@
 # Verification targets for the relatch reproduction.
 #
-#   make check      vet + build + race-enabled tests + fuzz smoke
+#   make check      vet + analyzers + build + race-enabled tests + fuzz smoke
 #   make test       plain test suite (the tier-1 gate)
 #   make lint       static lint over examples and generated benchmarks
+#   make certify    retime + certify every seed benchmark, every approach
+#   make analyze    repo-convention analyzers (bare panic, context plumbing)
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 
@@ -12,15 +14,21 @@ FUZZTIME ?= 10s
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet build race lint fuzz-smoke fuzz
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz
 
-check: vet build race fuzz-smoke
+check: vet analyze build race fuzz-smoke
 
 test:
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own conventions, enforced with a stdlib-only AST pass:
+# no bare panic outside tests / Must* constructors / the fault harness,
+# and no exported function calling a *Ctx API without taking a context.
+analyze:
+	$(GO) run ./build/analyzers .
 
 build:
 	$(GO) build ./...
@@ -42,6 +50,18 @@ lint:
 	done
 	@set -e; for b in $$(./build/rar -list | awk '{print $$1}'); do \
 		echo "lint -bench $$b"; ./build/rar -bench $$b -lint >/dev/null; \
+	done
+
+# certify must stay finding-free on everything the repo ships: every
+# seed benchmark, retimed under every approach, must produce a clean
+# certificate. rar -certify exits 5 on findings, failing the target.
+certify:
+	$(GO) build -o build/rar ./cmd/rar
+	@set -e; for b in $$(./build/rar -list | awk '{print $$1}'); do \
+		for a in grar base nvl evl rvl; do \
+			echo "certify -bench $$b -approach $$a"; \
+			./build/rar -bench $$b -approach $$a -certify >/dev/null; \
+		done; \
 	done
 
 fuzz-smoke:

@@ -1,0 +1,210 @@
+// Command analyzers runs the repo's custom static checks over the Go
+// sources, using only the standard library go/ast toolchain (the repo
+// carries no module dependencies, so golang.org/x/tools/go/analysis is
+// deliberately not used).
+//
+// Two project conventions are enforced:
+//
+//  1. no bare panic: library code must return errors. panic( is allowed
+//     only in _test.go files, in the fault-injection harness
+//     (internal/faults, whose whole job is provoking failures), and in
+//     functions whose name starts with Must — the established Go idiom
+//     for fixture constructors with documented panic behavior
+//     (cell.MustCell, fig4.MustCircuit, fig4.MustOptimalRetiming).
+//
+//  2. context plumbing: an exported function that calls a *Ctx API
+//     (SolveCtx, RetimeCtx, RunCtx, ...) must itself accept a
+//     context.Context, so cancellation reaches the solver from every
+//     public entry point. Convenience wrappers that explicitly pass
+//     context.Background() or context.TODO() as the first argument are
+//     exempt — they are the documented "I have no context" shims — as
+//     are _test.go files (Test* functions are not API) and function
+//     literals that take their own context.Context parameter.
+//
+// Usage: go run ./build/analyzers [root...]  (default root ".").
+// Exits 1 when any finding is reported, 2 on usage/IO errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var findings []string
+	for _, root := range roots {
+		fs, err := analyzeTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "analyzers: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// analyzeTree walks root for .go files and collects findings.
+func analyzeTree(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS metadata and materialized build outputs (the
+			// analyzer's own source lives under build/analyzers and is
+			// still visited — it must satisfy its own rules).
+			switch d.Name() {
+			case ".git", "testdata", "lint-benches":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("%s: %v", path, perr)
+		}
+		findings = append(findings, checkFile(fset, f, path)...)
+		return nil
+	})
+	return findings, err
+}
+
+// checkFile applies both rules to one parsed file and returns the
+// findings as "path:line:col: message" strings.
+func checkFile(fset *token.FileSet, f *ast.File, path string) []string {
+	var findings []string
+	slashed := filepath.ToSlash(path)
+	testFile := strings.HasSuffix(slashed, "_test.go")
+	faultsPkg := strings.Contains(slashed, "internal/faults/")
+
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if !testFile && !faultsPkg && !strings.HasPrefix(fn.Name.Name, "Must") {
+			findings = append(findings, barePanics(fset, fn, path)...)
+		}
+		if !testFile && fn.Name.IsExported() && !acceptsContext(fn.Type) {
+			findings = append(findings, unthreadedCtxCalls(fset, fn, path)...)
+		}
+	}
+	return findings
+}
+
+// barePanics reports every panic( call in fn.
+func barePanics(fset *token.FileSet, fn *ast.FuncDecl, path string) []string {
+	var findings []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			pos := fset.Position(call.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d:%d: bare panic in %s: return an error, or rename the function Must%s",
+				path, pos.Line, pos.Column, fn.Name.Name, fn.Name.Name))
+		}
+		return true
+	})
+	return findings
+}
+
+// acceptsContext reports whether any parameter of the function type has
+// type context.Context.
+func acceptsContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "context" && sel.Sel.Name == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unthreadedCtxCalls reports calls to *Ctx APIs inside an exported
+// function that does not itself take a context, except calls whose
+// first argument is an explicit context.Background() or context.TODO().
+// Function literals that accept their own context.Context parameter
+// (registered callbacks, e.g. the fault-catalog Inject closures) are a
+// separate plumbing scope and are not descended into.
+func unthreadedCtxCalls(fset *token.FileSet, fn *ast.FuncDecl, path string) []string {
+	var findings []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && acceptsContext(lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		// Only exported-style *Ctx callees count as API entry points;
+		// local helpers like newCtx are not cancellation surfaces.
+		if !strings.HasSuffix(name, "Ctx") || name == "Ctx" || !ast.IsExported(name) {
+			return true
+		}
+		if len(call.Args) > 0 && isExplicitNoContext(call.Args[0]) {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d:%d: exported %s calls %s without accepting a context.Context parameter",
+			path, pos.Line, pos.Column, fn.Name.Name, name))
+		return true
+	})
+	return findings
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isExplicitNoContext matches context.Background() / context.TODO().
+func isExplicitNoContext(arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO")
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, path, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return checkFile(fset, f, path)
+}
+
+func TestBarePanicRule(t *testing.T) {
+	src := `package p
+func Bad() { panic("boom") }
+func MustFixture() { panic("documented") }
+func alsoBad() { if true { panic("nested") } }
+`
+	got := run(t, "internal/x/x.go", src)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "bare panic in Bad") {
+		t.Errorf("finding 0 = %q, want Bad flagged", got[0])
+	}
+	if !strings.Contains(got[1], "bare panic in alsoBad") {
+		t.Errorf("finding 1 = %q, want alsoBad flagged", got[1])
+	}
+}
+
+func TestBarePanicExemptions(t *testing.T) {
+	src := `package p
+func Helper() { panic("x") }
+`
+	if got := run(t, "internal/x/x_test.go", src); len(got) != 0 {
+		t.Errorf("_test.go exemption broken: %v", got)
+	}
+	if got := run(t, "internal/faults/faults.go", src); len(got) != 0 {
+		t.Errorf("faults exemption broken: %v", got)
+	}
+}
+
+func TestContextRule(t *testing.T) {
+	src := `package p
+import "context"
+func Run() error { _, err := SolveCtx(newCtx(), 1); _ = err; return err }
+func RunCtx(ctx context.Context) error { _, err := SolveCtx(ctx, 1); _ = err; return err }
+func Wrap() error { _, err := SolveCtx(context.Background(), 1); _ = err; return err }
+func Todo() error { _, err := SolveCtx(context.TODO(), 1); _ = err; return err }
+func quiet() error { _, err := SolveCtx(newCtx(), 1); _ = err; return err }
+`
+	got := run(t, "internal/x/x.go", src)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1 (only Run): %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "exported Run calls SolveCtx") {
+		t.Errorf("finding = %q", got[0])
+	}
+}
+
+func TestContextRuleMethodCalls(t *testing.T) {
+	src := `package p
+func Retime(c int) error { _, err := g.SolveCtx(bg(), c); _ = err; return err }
+`
+	got := run(t, "internal/x/x.go", src)
+	if len(got) != 1 || !strings.Contains(got[0], "Retime calls SolveCtx") {
+		t.Fatalf("method-call detection broken: %v", got)
+	}
+}
+
+// TestRepoIsClean runs both rules over the actual repository tree; the
+// conventions the analyzer encodes must hold on the code that ships.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := analyzeTree("../..")
+	if err != nil {
+		t.Fatalf("analyzeTree: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

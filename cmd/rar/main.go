@@ -15,9 +15,16 @@
 // positions, as JSON under -lint-json. -timeout applies to lint-only mode
 // the same as to retiming runs.
 //
+// With -certify the run prints the independent output certificate —
+// structural equivalence, retiming-label legality, EDL soundness and cost
+// accounting re-derived from the result — as text, or as JSON under
+// -certify-json. The core approaches (grar, base) always run the
+// certifier as a post-solve gate; the flag additionally certifies the
+// virtual-library approaches and renders the certificate.
+//
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
 // interrupt, 4 lint findings (error-severity diagnostics; warnings alone
-// exit 0).
+// exit 0), 5 certification findings.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -32,6 +40,7 @@ import (
 
 	"relatch/internal/bench"
 	"relatch/internal/cell"
+	"relatch/internal/cert"
 	"relatch/internal/clocking"
 	"relatch/internal/core"
 	"relatch/internal/edl"
@@ -67,6 +76,8 @@ func main() {
 	lintOnly := flag.Bool("lint", false, "lint the circuit instead of retiming it (exit 4 on findings)")
 	lintJSON := flag.Bool("lint-json", false, "with -lint, print diagnostics as JSON (implies -lint)")
 	lintDisable := flag.String("lint-disable", "", "comma-separated lint rule IDs to skip")
+	certify := flag.Bool("certify", false, "print the independent output certificate (exit 5 on findings)")
+	certifyJSON := flag.Bool("certify-json", false, "with -certify, print the certificate as JSON (implies -certify)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
@@ -98,6 +109,8 @@ func main() {
 		lint:        *lintOnly || *lintJSON,
 		lintJSON:    *lintJSON,
 		lintDisable: *lintDisable,
+		certify:     *certify || *certifyJSON,
+		certifyJSON: *certifyJSON,
 	})
 	if err == nil {
 		return
@@ -110,6 +123,8 @@ func main() {
 		os.Exit(2)
 	case errors.Is(err, lint.ErrFindings):
 		os.Exit(4)
+	case errors.Is(err, cert.ErrNotCertified):
+		os.Exit(5)
 	default:
 		os.Exit(1)
 	}
@@ -127,6 +142,8 @@ type options struct {
 	lint                   bool
 	lintJSON               bool
 	lintDisable            string
+	certify                bool
+	certifyJSON            bool
 }
 
 func run(ctx context.Context, o options) error {
@@ -174,7 +191,15 @@ func run(ctx context.Context, o options) error {
 		return usagef("%v", err)
 	}
 
-	fmt.Printf("circuit %s: %d gates, %d boundary registers, %s\n",
+	// With -certify-json the machine-readable certificate owns stdout,
+	// the same purity contract -lint-json keeps for diagnostics; the
+	// human progress lines move to stderr.
+	info := io.Writer(os.Stdout)
+	if o.certifyJSON {
+		info = os.Stderr
+	}
+
+	fmt.Fprintf(info, "circuit %s: %d gates, %d boundary registers, %s\n",
 		c.Name, c.GateCount(), c.FlopCount(), scheme)
 
 	var placement *netlist.Placement
@@ -191,27 +216,68 @@ func run(ctx context.Context, o options) error {
 		}
 		res, err := core.RetimeCtx(ctx, c, opt, ap)
 		if err != nil {
+			// The post-solve gate attaches the certificate even when it
+			// fails; render the findings before surfacing exit code 5.
+			if res != nil && res.Certificate != nil && o.certify {
+				if cerr := emitCertificate(res.Certificate, o); cerr != nil {
+					return cerr
+				}
+			}
 			return err
 		}
-		fmt.Printf("%s: %d slave latches, %d masters, %d error-detecting\n",
+		fmt.Fprintf(info, "%s: %d slave latches, %d masters, %d error-detecting\n",
 			ap, res.SlaveCount, res.MasterCount, res.EDCount)
-		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v (solver %v%s)\n",
+		fmt.Fprintf(info, "sequential area %.2f, total area %.2f, runtime %v (solver %v%s)\n",
 			res.SeqArea, res.TotalArea, res.Runtime, res.Solver, fallbackNote(res.SolverFallback, res.FallbackReason))
 		if len(res.Violations) > 0 {
-			fmt.Printf("WARNING: %d residual timing violations\n", len(res.Violations))
+			fmt.Fprintf(info, "WARNING: %d residual timing violations\n", len(res.Violations))
+		}
+		if o.certify {
+			if err := emitCertificate(res.Certificate, o); err != nil {
+				return err
+			}
 		}
 		placement = res.Placement
 		edMasters = res.EDMasters
 	case "nvl", "evl", "rvl":
 		variant := map[string]vlib.Variant{"nvl": vlib.NVL, "evl": vlib.EVL, "rvl": vlib.RVL}[o.approach]
+		shape := cert.Snapshot(c)
 		res, err := vlib.RetimeCtx(ctx, c, vlib.Options{Scheme: scheme, EDLCost: o.overhead, Method: m, PostSwap: true}, variant)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%v: %d slave latches, %d masters, %d error-detecting (%d swaps, %d upsized)\n",
+		fmt.Fprintf(info, "%v: %d slave latches, %d masters, %d error-detecting (%d swaps, %d upsized)\n",
 			variant, res.SlaveCount, res.MasterCount, res.EDCount, res.Swaps, res.Upsized)
-		fmt.Printf("sequential area %.2f, total area %.2f, runtime %v\n",
+		fmt.Fprintf(info, "sequential area %.2f, total area %.2f, runtime %v\n",
 			res.SeqArea, res.TotalArea, res.Runtime)
+		if o.certify {
+			// The virtual-library flow retimes a sized clone: compare
+			// gates by logic function (the incremental compile changes
+			// drive strengths, never functions).
+			crt, err := cert.Run(ctx, cert.Subject{
+				Original:    shape,
+				Retimed:     res.Circuit,
+				Placement:   res.Placement,
+				Scheme:      scheme,
+				Latch:       res.Circuit.Lib.BaseLatch,
+				EDMasters:   res.EDMasters,
+				SlaveCount:  res.SlaveCount,
+				MasterCount: res.MasterCount,
+				EDCount:     res.EDCount,
+				SeqArea:     res.SeqArea,
+				EDLCost:     o.overhead,
+				Approach:    variant.String(),
+			}, cert.Config{AllowResizing: true})
+			if err != nil {
+				return err
+			}
+			if cerr := emitCertificate(crt, o); cerr != nil {
+				return cerr
+			}
+			if ferr := crt.Err(); ferr != nil {
+				return ferr
+			}
+		}
 		placement = res.Placement
 		edMasters = res.EDMasters
 	default:
@@ -289,6 +355,14 @@ func runLint(ctx context.Context, c *netlist.Circuit, scheme clocking.Scheme, o 
 		rep.WriteText(os.Stdout)
 	}
 	return rep.Err()
+}
+
+// emitCertificate renders a certificate per the output flags.
+func emitCertificate(crt *cert.Certificate, o options) error {
+	if o.certifyJSON {
+		return crt.WriteJSON(os.Stdout)
+	}
+	return crt.WriteText(os.Stdout)
 }
 
 func fallbackNote(fellBack bool, reason string) string {

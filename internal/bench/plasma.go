@@ -32,7 +32,7 @@ func BuildPlasma(lib *cell.Library, p Profile) (*netlist.SeqCircuit, error) {
 		}
 	}
 	w := &wordBuilder{
-		b:   netlist.NewSeqBuilder(p.Name, lib),
+		b:   netlist.NewSeqBuilder(p.Name, lib).AutoPos("bench://" + p.Name),
 		lib: lib,
 	}
 

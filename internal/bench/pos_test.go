@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"relatch/internal/cell"
+)
+
+// TestGeneratedCircuitsCarryPositions is the regression test for the
+// AutoPos threading: both generator families (layered ISCAS89 profiles
+// and the Plasma walker) must stamp every sequential node with a
+// synthetic bench:// position, and the positions must survive Cut, so
+// lint and certification diagnostics on generated circuits point at the
+// emitting construction step instead of "-".
+func TestGeneratedCircuitsCarryPositions(t *testing.T) {
+	lib := cell.Default(1.0)
+	for _, name := range []string{"s1196", "Plasma"} {
+		t.Run(name, func(t *testing.T) {
+			p, ok := ProfileByName(name)
+			if !ok {
+				t.Fatalf("no profile %q", name)
+			}
+			sc, err := p.BuildSeq(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantFile := "bench://" + p.Name
+			for _, n := range sc.Nodes {
+				if n.Pos.IsZero() {
+					t.Fatalf("node %q has no position", n.Name)
+				}
+				if n.Pos.File != wantFile {
+					t.Fatalf("node %q position file = %q, want %q", n.Name, n.Pos.File, wantFile)
+				}
+			}
+			cut, err := sc.Cut()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range cut.Nodes {
+				if n.Pos.IsZero() {
+					t.Fatalf("cut node %q lost its position", n.Name)
+				}
+			}
+		})
+	}
+}

@@ -138,7 +138,7 @@ func (p Profile) buildLayered(lib *cell.Library) (*netlist.SeqCircuit, error) {
 		return nil, fmt.Errorf("bench: %s: flops %d must exceed registered PIs %d", p.Name, p.Flops, p.PIRegs)
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	b := netlist.NewSeqBuilder(p.Name, lib)
+	b := netlist.NewSeqBuilder(p.Name, lib).AutoPos("bench://" + p.Name)
 
 	nFF := p.Flops - p.PIRegs
 	nOut := nFF + p.PORegs
@@ -279,13 +279,6 @@ func (p Profile) buildLayered(lib *cell.Library) (*netlist.SeqCircuit, error) {
 		}
 	}
 	return b.Build()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // calibrate picks the stage budget P the way the paper's flow sets its

@@ -84,13 +84,6 @@ func RandomCloud(name string, lib *cell.Library, rng *rand.Rand, spec RandomSpec
 	return b.Build()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // SchemeFor derives a two-phase clocking for a circuit: the paper's
 // symmetric scheme with the stage delay budget P set a little above the
 // worst path arrival so the design meets P = Π + φ1 with margin for the

@@ -287,6 +287,15 @@ type Library struct {
 	EDLOverhead float64
 }
 
+// SeqAreaOf is the sequential-area formula of the paper's objective:
+// latch area · (slaves + masters) + c · latch area · ED. It is the
+// single definition shared by core's evaluation, the virtual-library
+// flows, reports and the output certifier.
+func SeqAreaOf(lib *Library, edlCost float64, slaves, masters, ed int) float64 {
+	a := lib.BaseLatch.Area
+	return a*float64(slaves+masters) + edlCost*a*float64(ed)
+}
+
 // Default returns the library used throughout the reproduction, with the
 // EDL overhead factor c (the paper sweeps c over 0.5, 1.0, 2.0).
 func Default(edlOverhead float64) *Library {

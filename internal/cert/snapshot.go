@@ -1,0 +1,170 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+
+	"relatch/internal/cell"
+	"relatch/internal/netlist"
+)
+
+// Shape is a structural fingerprint of a cut cloud: enough to decide
+// whether two clouds are isomorphic modulo latch positions (and,
+// optionally, gate sizing), but holding no pointers into the live
+// circuit — so a snapshot taken before the solve stays unaffected by
+// any in-place mutation the pipeline performs afterwards.
+type Shape struct {
+	// Name is the circuit name the snapshot was taken from.
+	Name string
+	// Inputs and Outputs are boundary node names in declaration order.
+	Inputs  []string
+	Outputs []string
+	// Nodes maps node name to its structural fingerprint.
+	Nodes map[string]ShapeNode
+}
+
+// ShapeNode is one node's structural fingerprint.
+type ShapeNode struct {
+	Kind netlist.NodeKind
+	// Flop is the master latch index for boundary nodes, -1 for gates.
+	Flop int
+	// CellName and Func identify the bound cell for gates; Func alone is
+	// compared under Config.AllowResizing.
+	CellName string
+	Func     cell.Function
+	// Fanin lists driver names in pin order.
+	Fanin []string
+	// Pos is the node's source position, carried for diagnostics.
+	Pos netlist.Pos
+}
+
+// Snapshot fingerprints a circuit. Take it before handing the circuit to
+// the solver; Run's structure check compares it against the circuit that
+// comes back.
+func Snapshot(c *netlist.Circuit) *Shape {
+	if c == nil {
+		return nil
+	}
+	sh := &Shape{Name: c.Name, Nodes: make(map[string]ShapeNode, len(c.Nodes))}
+	for _, n := range c.Inputs {
+		sh.Inputs = append(sh.Inputs, n.Name)
+	}
+	for _, n := range c.Outputs {
+		sh.Outputs = append(sh.Outputs, n.Name)
+	}
+	for _, n := range c.Nodes {
+		sn := ShapeNode{Kind: n.Kind, Flop: n.Flop, Pos: n.Pos}
+		if n.Cell != nil {
+			sn.CellName = n.Cell.Name
+			sn.Func = n.Cell.Func
+		}
+		sn.Fanin = make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			if f != nil {
+				sn.Fanin[i] = f.Name
+			}
+		}
+		sh.Nodes[n.Name] = sn
+	}
+	return sh
+}
+
+// checkStructure compares the retimed circuit against the pre-solve
+// snapshot: same node set, same kinds, same cell bindings (by name, or
+// by logic function under AllowResizing), same fanin wiring in pin
+// order, same boundary lists. Retiming moves slave latches along edges;
+// it never touches the combinational cloud, so any divergence is a
+// corruption of the output.
+func checkStructure(orig *Shape, retimed *netlist.Circuit, cfg Config) []Finding {
+	var fs []Finding
+	add := func(node string, pos netlist.Pos, format string, args ...any) {
+		fs = append(fs, Finding{Check: "structure", Code: CodeStructure,
+			Message: fmt.Sprintf(format, args...), Node: node, Pos: pos})
+	}
+
+	got := Snapshot(retimed)
+	if !equalStrings(orig.Inputs, got.Inputs) {
+		add("", netlist.Pos{}, "input boundary changed: had %d inputs %v, now %d %v",
+			len(orig.Inputs), truncNames(orig.Inputs), len(got.Inputs), truncNames(got.Inputs))
+	}
+	if !equalStrings(orig.Outputs, got.Outputs) {
+		add("", netlist.Pos{}, "output boundary changed: had %d outputs %v, now %d %v",
+			len(orig.Outputs), truncNames(orig.Outputs), len(got.Outputs), truncNames(got.Outputs))
+	}
+
+	names := make([]string, 0, len(orig.Nodes))
+	for name := range orig.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		on := orig.Nodes[name]
+		gn, ok := got.Nodes[name]
+		if !ok {
+			add(name, on.Pos, "%s dropped from the retimed circuit", on.Kind)
+			continue
+		}
+		if gn.Kind != on.Kind {
+			add(name, gn.Pos, "kind changed from %s to %s", on.Kind, gn.Kind)
+			continue
+		}
+		if gn.Flop != on.Flop {
+			add(name, gn.Pos, "master latch index changed from %d to %d", on.Flop, gn.Flop)
+		}
+		if on.Kind == netlist.KindGate {
+			switch {
+			case cfg.AllowResizing && gn.Func != on.Func:
+				add(name, gn.Pos, "logic function changed from %s to %s", on.Func, gn.Func)
+			case !cfg.AllowResizing && gn.CellName != on.CellName:
+				add(name, gn.Pos, "cell changed from %s to %s", on.CellName, gn.CellName)
+			}
+		}
+		if !equalStrings(on.Fanin, gn.Fanin) {
+			add(name, gn.Pos, "fanin rewired from %v to %v", truncNames(on.Fanin), truncNames(gn.Fanin))
+		}
+	}
+	extra := make([]string, 0)
+	for name := range got.Nodes {
+		if _, ok := orig.Nodes[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		gn := got.Nodes[name]
+		add(name, gn.Pos, "%s added to the retimed circuit", gn.Kind)
+	}
+	// Duplicated gates cannot hide behind the name map: a duplicate
+	// name is rejected by the builder, and a duplicate under a fresh
+	// name surfaces as an added node above. A count mismatch with equal
+	// name sets means aliased nodes, which is worth its own line.
+	if len(fs) == 0 && len(retimed.Nodes) != len(orig.Nodes) {
+		add("", netlist.Pos{}, "node count changed from %d to %d with identical name sets (aliased nodes)",
+			len(orig.Nodes), len(retimed.Nodes))
+	}
+	return fs
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// truncNames keeps messages bounded on wide-fanin or big-boundary diffs.
+func truncNames(names []string) []string {
+	const cap = 8
+	if len(names) <= cap {
+		return names
+	}
+	out := make([]string, cap+1)
+	copy(out, names[:cap])
+	out[cap] = fmt.Sprintf("... %d more", len(names)-cap)
+	return out
+}

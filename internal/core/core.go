@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"relatch/internal/cell"
+	"relatch/internal/cert"
 	"relatch/internal/clocking"
 	"relatch/internal/flow"
 	"relatch/internal/lint"
@@ -101,6 +102,13 @@ type Result struct {
 	SolverFallback  bool
 	FallbackReason  string
 	SolverCertified bool
+
+	// Certificate is the independent output certification (structural
+	// equivalence, retiming-label legality, EDL soundness, cost
+	// accounting) run as a post-solve gate. It is attached even when
+	// certification fails, so callers can inspect the findings behind
+	// the returned error.
+	Certificate *cert.Certificate
 
 	Runtime time.Duration
 }
@@ -195,6 +203,10 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 		// behavior (see rgraph.Config.MovementPrimary).
 		MovementPrimary: approach == ApproachBase,
 	}
+	// Snapshot the cloud before the solver sees it: the post-solve
+	// certifier compares the circuit that comes back against this
+	// fingerprint, so any in-place corruption is caught.
+	shape := cert.Snapshot(c)
 	g, err := rgraph.Build(c, optTiming, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
@@ -213,7 +225,41 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	for _, cls := range g.Class {
 		res.Classes[cls]++
 	}
+	// Post-solve gate: independently certify the output. The result is
+	// returned alongside the error so callers can render the findings.
+	evalOpt := evalOptions(c, opt)
+	crt, err := cert.Run(ctx, cert.Subject{
+		Original:    shape,
+		Retimed:     c,
+		Placement:   res.Placement,
+		Scheme:      opt.Scheme,
+		Latch:       latch,
+		StaOptions:  &evalOpt,
+		EDMasters:   res.EDMasters,
+		Reclaimed:   sol.PseudoFired,
+		SlaveCount:  res.SlaveCount,
+		MasterCount: res.MasterCount,
+		EDCount:     res.EDCount,
+		SeqArea:     res.SeqArea,
+		EDLCost:     opt.EDLCost,
+		Objective:   res.Objective,
+		Approach:    approach.String(),
+	}, cert.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", approach, err)
+	}
+	res.Certificate = crt
 	res.Runtime = time.Since(start)
+	if ferr := crt.Err(); ferr != nil {
+		for i, f := range crt.Findings {
+			if i == 5 {
+				ferr = fmt.Errorf("%w\n  ... and %d more", ferr, len(crt.Findings)-i)
+				break
+			}
+			ferr = fmt.Errorf("%w\n  %v", ferr, f)
+		}
+		return res, fmt.Errorf("core: %s: post-solve %w", approach, ferr)
+	}
 	return res, nil
 }
 
@@ -235,9 +281,7 @@ func evaluate(c *netlist.Circuit, opt Options, approach Approach, p *netlist.Pla
 		EDCount:     len(ed),
 		Violations:  la.Violations(),
 	}
-	aLatch := c.Lib.BaseLatch.Area
-	res.SeqArea = aLatch*float64(res.SlaveCount+res.MasterCount) +
-		opt.EDLCost*aLatch*float64(res.EDCount)
+	res.SeqArea = cell.SeqAreaOf(c.Lib, opt.EDLCost, res.SlaveCount, res.MasterCount, res.EDCount)
 	res.TotalArea = res.SeqArea + c.CombArea()
 	return res
 }
@@ -255,8 +299,8 @@ func Evaluate(c *netlist.Circuit, opt Options, p *netlist.Placement) (*Result, e
 }
 
 // SeqAreaOf recomputes the sequential-area formula for explicit counts;
-// exported so reports and tests share one definition.
+// it delegates to cell.SeqAreaOf, the shared definition the certifier
+// re-derives claims against.
 func SeqAreaOf(lib *cell.Library, edlCost float64, slaves, masters, ed int) float64 {
-	a := lib.BaseLatch.Area
-	return a*float64(slaves+masters) + edlCost*a*float64(ed)
+	return cell.SeqAreaOf(lib, edlCost, slaves, masters, ed)
 }

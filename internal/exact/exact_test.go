@@ -39,7 +39,7 @@ func TestSearchFindsCut2(t *testing.T) {
 		t.Errorf("optimal model cost = %g, want 3", best.Cost)
 	}
 	// The paper's r-vector must be among the optima; verify its cost.
-	want := fig4.OptimalRetiming(g.C)
+	want := fig4.MustOptimalRetiming(g.C)
 	r := make(map[int]int)
 	for _, n := range g.C.Nodes {
 		r[n.ID] = want[n.ID]

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/cert"
+	"relatch/internal/core"
+	"relatch/internal/vlib"
+)
+
+// TestCertifyAllApproaches retimes every seed benchmark under every
+// approach and requires the independent certifier to come back clean:
+// the solver stack must never emit a placement whose labels, structure,
+// ED classification or cost accounting the static analysis can fault.
+// Large profiles are skipped in -short mode to keep the quick loop
+// quick; the full sweep runs in CI's race job and via make certify.
+func TestCertifyAllApproaches(t *testing.T) {
+	lib := cell.Default(1.0)
+	const overhead = 0.5
+	ctx := context.Background()
+
+	for _, prof := range bench.ISCAS89 {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			if testing.Short() && prof.Gates > 1000 {
+				t.Skipf("skipping %d-gate profile in short mode", prof.Gates)
+			}
+			t.Parallel()
+			seq, err := prof.BuildSeq(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, scheme, err := prof.CutAndCalibrate(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Core approaches certify inside RetimeCtx: the post-solve
+			// gate fails the call itself when findings surface.
+			copt := core.Options{Scheme: scheme, EDLCost: overhead}
+			for _, ap := range []core.Approach{core.ApproachGRAR, core.ApproachBase} {
+				res, err := core.RetimeCtx(ctx, c, copt, ap)
+				if err != nil {
+					t.Fatalf("%v: %v", ap, err)
+				}
+				if res.Certificate == nil {
+					t.Fatalf("%v: result carries no certificate", ap)
+				}
+				if !res.Certificate.Certified() {
+					t.Fatalf("%v: not certified: %v", ap, res.Certificate.Findings)
+				}
+			}
+
+			// Virtual-library variants certify externally, the way rar
+			// -certify does: snapshot before, compare by logic function
+			// after (the incremental compile reassigns drive strengths).
+			shape := cert.Snapshot(c)
+			vopt := vlib.Options{Scheme: scheme, EDLCost: overhead, PostSwap: true}
+			for _, v := range []vlib.Variant{vlib.NVL, vlib.EVL, vlib.RVL} {
+				res, err := vlib.RetimeCtx(ctx, c, vopt, v)
+				if err != nil {
+					t.Fatalf("%v: %v", v, err)
+				}
+				crt, err := cert.Run(ctx, cert.Subject{
+					Original:    shape,
+					Retimed:     res.Circuit,
+					Placement:   res.Placement,
+					Scheme:      scheme,
+					Latch:       res.Circuit.Lib.BaseLatch,
+					EDMasters:   res.EDMasters,
+					SlaveCount:  res.SlaveCount,
+					MasterCount: res.MasterCount,
+					EDCount:     res.EDCount,
+					SeqArea:     res.SeqArea,
+					EDLCost:     overhead,
+					Approach:    v.String(),
+				}, cert.Config{AllowResizing: true})
+				if err != nil {
+					t.Fatalf("%v: cert.Run: %v", v, err)
+				}
+				if !crt.Certified() {
+					t.Fatalf("%v: not certified: %v", v, crt.Findings)
+				}
+			}
+		})
+	}
+}

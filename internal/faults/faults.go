@@ -16,9 +16,11 @@ import (
 
 	"relatch/internal/bench"
 	"relatch/internal/cell"
+	"relatch/internal/cert"
 	"relatch/internal/clocking"
 	"relatch/internal/core"
 	"relatch/internal/experiments"
+	"relatch/internal/fig4"
 	"relatch/internal/flow"
 	"relatch/internal/lint"
 	"relatch/internal/netlist"
@@ -559,7 +561,125 @@ func Catalog() []Fault {
 				return err
 			},
 		},
+
+		// --- certifier corruptions: each mutates one facet of a solver
+		// result that all earlier layers accept, and requires the
+		// certificate to carry the matching finding code ---
+		{
+			Name:  "placement with one retiming label off by one latch",
+			Class: "cert/label-off-by-one",
+			Inject: func(ctx context.Context) error {
+				c := fig4.MustCircuit()
+				p := fig4.Cut1(c)
+				g3, ok1 := c.Node("G3")
+				g6, ok2 := c.Node("G6")
+				if !ok1 || !ok2 {
+					return fmt.Errorf("faults: bad fixture: fig4 nodes missing")
+				}
+				e := netlist.Edge{From: g3.ID, To: g6.ID}
+				if !p.OnEdge[e] {
+					return fmt.Errorf("faults: bad fixture: Cut1 has no latch on G3→G6")
+				}
+				delete(p.OnEdge, e)
+				s := certSubject(c, p, map[int]bool{mustNodeID(c, "O9"): true})
+				return certFindings(ctx, s, cert.CodeLabelInference)
+			},
+		},
+		{
+			Name:  "retimed circuit missing a gate the original had",
+			Class: "cert/stolen-gate",
+			Inject: func(ctx context.Context) error {
+				c := fig4.MustCircuit()
+				s := certSubject(c, fig4.Cut2(c), map[int]bool{})
+				// The snapshot claims a gate the retimed circuit no longer
+				// carries — the solver "stole" it from the cloud.
+				s.Original.Nodes["G99"] = cert.ShapeNode{
+					Kind:     netlist.KindGate,
+					CellName: "nand2_x1",
+					Func:     cell.FuncNand2,
+					Fanin:    []string{"I1", "I2"},
+				}
+				return certFindings(ctx, s, cert.CodeStructure)
+			},
+		},
+		{
+			Name:  "result silently dropping an error-detecting flag",
+			Class: "cert/dropped-edl-flag",
+			Inject: func(ctx context.Context) error {
+				c := fig4.MustCircuit()
+				// Cut1 makes O9 error-detecting (arrival 12 > Π = 10);
+				// claim nothing is, and keep the counts/area consistent
+				// with the lie so only the EDL recompute can expose it.
+				s := certSubject(c, fig4.Cut1(c), map[int]bool{})
+				return certFindings(ctx, s, cert.CodeEDLMismatch)
+			},
+		},
+		{
+			Name:  "claimed objective diverging from the area identity",
+			Class: "cert/objective-mismatch",
+			Inject: func(ctx context.Context) error {
+				c := fig4.MustCircuit()
+				s := certSubject(c, fig4.Cut2(c), map[int]bool{})
+				s.SeqArea *= 1.5
+				return certFindings(ctx, s, cert.CodeCost)
+			},
+		},
 	}
+}
+
+// certSubject assembles a fully consistent fig4 certification subject;
+// cert fault cases then corrupt exactly one facet of it.
+func certSubject(c *netlist.Circuit, p *netlist.Placement, ed map[int]bool) cert.Subject {
+	opts := sta.DefaultOptions(c.Lib)
+	opts.Model = sta.ModelFixed
+	opts.FixedDelays = fig4.FixedDelays(c)
+	opts.LaunchDelay = 0
+	edCount := 0
+	for _, v := range ed {
+		if v {
+			edCount++
+		}
+	}
+	return cert.Subject{
+		Original:    cert.Snapshot(c),
+		Retimed:     c,
+		Placement:   p,
+		Scheme:      fig4.Scheme(),
+		Latch:       fig4.ZeroLatch(),
+		StaOptions:  &opts,
+		EDMasters:   ed,
+		SlaveCount:  p.SlaveCount(),
+		MasterCount: c.FlopCount(),
+		EDCount:     edCount,
+		SeqArea:     cell.SeqAreaOf(c.Lib, fig4.EDLOverhead, p.SlaveCount(), c.FlopCount(), edCount),
+		EDLCost:     fig4.EDLOverhead,
+		Approach:    "faults",
+	}
+}
+
+// mustNodeID resolves a node name the fig4 fixture is known to define.
+func mustNodeID(c *netlist.Circuit, name string) int {
+	n, ok := c.Node(name)
+	if !ok {
+		return -1
+	}
+	return n.ID
+}
+
+// certFindings certifies a corrupted subject and reports the outcome the
+// way lintFindings does for lint: a Run failure surfaces as-is, and the
+// certificate error counts as detection only when it carries the finding
+// code the corruption should produce — a clean certificate, or one that
+// flags the wrong facet, returns nil so Check fails the case.
+func certFindings(ctx context.Context, s cert.Subject, code string) error {
+	crt, err := cert.Run(ctx, s, cert.Config{})
+	if err != nil {
+		return err
+	}
+	if !crt.HasCode(code) {
+		return nil
+	}
+	return crt.Err()
 }
 
 // lintFindings lints a corrupted circuit and reports its error findings.

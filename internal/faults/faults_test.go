@@ -51,6 +51,10 @@ func TestCatalogCoversRequiredClasses(t *testing.T) {
 		"flow/unbalanced",
 		"flow/overflow-cost",
 		"sta/negative-delay",
+		"cert/label-off-by-one",
+		"cert/stolen-gate",
+		"cert/dropped-edl-flag",
+		"cert/objective-mismatch",
 	} {
 		if classes[required] == 0 {
 			t.Errorf("required fault class %s missing", required)

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"relatch/internal/cell"
+	"relatch/internal/core"
+	"relatch/internal/verilog"
+)
+
+// FuzzCert drives the full parse → cut → retime → certify pipeline on
+// arbitrary Verilog, seeded with the parser's crasher corpus. Errors at
+// any stage are acceptable outcomes; panics are not. When retiming
+// succeeds, the post-solve certification gate inside core.RetimeCtx has
+// by construction found nothing — the fuzzer asserts the certificate is
+// actually attached and clean so the gate cannot be silently bypassed.
+func FuzzCert(f *testing.F) {
+	for _, src := range verilog.CrasherCorpus {
+		f.Add(src)
+	}
+	f.Add(goodSource)
+
+	lib := cell.Default(1.0)
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := verilog.ParseString(src, lib)
+		if err != nil {
+			return
+		}
+		c, err := sc.Cut()
+		if err != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		res, err := core.RetimeCtx(ctx, c, core.Options{Scheme: goodScheme(), EDLCost: 1}, core.ApproachGRAR)
+		if err != nil {
+			return
+		}
+		if res.Certificate == nil {
+			t.Fatalf("retiming succeeded without attaching a certificate")
+		}
+		if !res.Certificate.Certified() {
+			t.Fatalf("uncertified result returned without error: %v", res.Certificate.Findings)
+		}
+	})
+}

@@ -111,9 +111,10 @@ func Cut2(c *netlist.Circuit) *netlist.Placement {
 	return p
 }
 
-// OptimalRetiming returns the r-vector the paper's ILP produces:
-// r = −1 on I1, I2, G3, G4, G5, G6 and 0 elsewhere.
-func OptimalRetiming(c *netlist.Circuit) map[int]int {
+// MustOptimalRetiming returns the r-vector the paper's ILP produces:
+// r = −1 on I1, I2, G3, G4, G5, G6 and 0 elsewhere. It panics if c is
+// not the Fig. 4 circuit.
+func MustOptimalRetiming(c *netlist.Circuit) map[int]int {
 	r := make(map[int]int)
 	for _, name := range []string{"I1", "I2", "G3", "G4", "G5", "G6"} {
 		n, ok := c.Node(name)

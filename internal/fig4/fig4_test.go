@@ -70,7 +70,7 @@ func TestCutsAreLegal(t *testing.T) {
 
 func TestOptimalRetimingMatchesCut2(t *testing.T) {
 	c := MustCircuit()
-	p := netlist.FromRetiming(c, OptimalRetiming(c))
+	p := netlist.FromRetiming(c, MustOptimalRetiming(c))
 	if err := p.Validate(c); err != nil {
 		t.Fatal(err)
 	}

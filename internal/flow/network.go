@@ -16,6 +16,8 @@ package flow
 import (
 	"fmt"
 	"math"
+
+	"relatch/internal/ints"
 )
 
 // Unbounded is the capacity of an uncapacitated arc.
@@ -117,10 +119,7 @@ func (nw *Network) checkBalanced() error {
 func (nw *Network) checkMagnitudes() error {
 	var costSum, demandSum int64
 	for _, a := range nw.arcs {
-		c := a.Cost
-		if c < 0 {
-			c = -c
-		}
+		c := ints.Abs64(a.Cost)
 		if c > Unbounded {
 			return fmt.Errorf("flow: %w: arc cost %d exceeds %d", ErrOverflow, a.Cost, Unbounded)
 		}
@@ -130,9 +129,7 @@ func (nw *Network) checkMagnitudes() error {
 		}
 	}
 	for v, d := range nw.demand {
-		if d < 0 {
-			d = -d
-		}
+		d = ints.Abs64(d)
 		if d > Unbounded {
 			return fmt.Errorf("flow: %w: demand %d on node %d exceeds %d", ErrOverflow, nw.demand[v], v, Unbounded)
 		}

@@ -3,6 +3,8 @@ package flow
 import (
 	"context"
 	"fmt"
+
+	"relatch/internal/ints"
 )
 
 // arcState tracks where a non-tree arc sits.
@@ -46,11 +48,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 	var costSum int64
 	for i, a := range nw.arcs {
 		arcs[i] = sArc{from: a.From, to: a.To, cost: a.Cost, cap: a.Cap}
-		c := a.Cost
-		if c < 0 {
-			c = -c
-		}
-		costSum += c
+		costSum += ints.Abs64(a.Cost)
 	}
 	bigM := costSum + 1
 

@@ -1,0 +1,14 @@
+// Package ints holds the shared integer helpers that used to be
+// duplicated as per-package locals. Min/max need no helper since Go
+// 1.21 — the builtins cover every ordered type — so only the helpers
+// the builtins do not provide live here.
+package ints
+
+// Abs64 returns |v|. The caller is responsible for v != math.MinInt64
+// (the flow layer bounds magnitudes well below that before arithmetic).
+func Abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"testing"
+
+	"relatch/internal/cell"
+)
+
+// TestSeqBuilderAutoPos checks that programmatically built sequential
+// circuits carry synthetic source positions through Cut, the way parsed
+// netlists carry real ones: AutoPos stamps creation ordinals, At
+// overrides the next node, and the cut cloud inherits every position.
+func TestSeqBuilderAutoPos(t *testing.T) {
+	l := cell.Default(1.0)
+	b := NewSeqBuilder("gen", l).AutoPos("bench://gen")
+	pi := b.PI("in")
+	ff := b.FF("r1")
+	b.At(Pos{File: "custom.v", Line: 42, Col: 7})
+	g := b.Gate("g1", l.MustCell(cell.FuncNand2, 1), pi, ff)
+	b.SetD(ff, g)
+	b.PO("out", g)
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range sc.Nodes {
+		if n.Pos.IsZero() {
+			t.Errorf("node %q has no position", n.Name)
+		}
+	}
+	if got := sc.Nodes[0].Pos; got.File != "bench://gen" || got.Line != 1 {
+		t.Errorf("first node pos = %v, want bench://gen:1", got)
+	}
+	if got := sc.Nodes[1].Pos; got.Line != 2 {
+		t.Errorf("second node line = %d, want creation ordinal 2", got.Line)
+	}
+	if got := g.Pos; got != (Pos{File: "custom.v", Line: 42, Col: 7}) {
+		t.Errorf("At override not applied: %v", got)
+	}
+	// At applies to one node only; the PO falls back to AutoPos.
+	if got := sc.POs[0].Pos; got.File != "bench://gen" {
+		t.Errorf("PO pos = %v, want AutoPos fallback", got)
+	}
+
+	cut, err := sc.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cut.Nodes {
+		if n.Pos.IsZero() {
+			t.Errorf("cut node %q lost its position", n.Name)
+		}
+	}
+	gc, ok := cut.Node("g1")
+	if !ok {
+		t.Fatal("g1 missing from cut")
+	}
+	if gc.Pos.File != "custom.v" {
+		t.Errorf("cut gate pos = %v, want custom.v carried through", gc.Pos)
+	}
+}
+
+// TestSeqBuilderNoPosByDefault pins the zero-value behavior: without
+// AutoPos/At nothing is stamped (parsed circuits set positions
+// explicitly and must not be overwritten by ordinals).
+func TestSeqBuilderNoPosByDefault(t *testing.T) {
+	l := cell.Default(1.0)
+	b := NewSeqBuilder("plain", l)
+	pi := b.PI("in")
+	b.PO("out", pi)
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sc.Nodes {
+		if !n.Pos.IsZero() {
+			t.Errorf("node %q unexpectedly has position %v", n.Name, n.Pos)
+		}
+	}
+}

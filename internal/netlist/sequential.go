@@ -61,6 +61,10 @@ type SeqBuilder struct {
 	c      *SeqCircuit
 	byName map[string]*SeqNode
 	err    error
+
+	autoFile string
+	nextPos  Pos
+	added    int
 }
 
 // NewSeqBuilder starts a flip-flop based circuit.
@@ -71,6 +75,24 @@ func NewSeqBuilder(name string, lib *cell.Library) *SeqBuilder {
 	}
 }
 
+// AutoPos stamps every subsequently added node with a synthetic source
+// position — the given pseudo-file plus the node's 1-based creation
+// ordinal as its line. Programmatic generators (bench profiles, the
+// Plasma walker) use it so their circuits carry positions through Cut
+// into lint and certification diagnostics, the same as parsed netlists:
+// the "line" points back at the generator's emission order.
+func (b *SeqBuilder) AutoPos(file string) *SeqBuilder {
+	b.autoFile = file
+	return b
+}
+
+// At sets an explicit source position for the next added node only,
+// overriding AutoPos for that node.
+func (b *SeqBuilder) At(pos Pos) *SeqBuilder {
+	b.nextPos = pos
+	return b
+}
+
 func (b *SeqBuilder) add(n *SeqNode) *SeqNode {
 	if b.err == nil {
 		if _, dup := b.byName[n.Name]; dup {
@@ -78,6 +100,14 @@ func (b *SeqBuilder) add(n *SeqNode) *SeqNode {
 			return n
 		}
 		b.byName[n.Name] = n
+	}
+	b.added++
+	switch {
+	case !b.nextPos.IsZero():
+		n.Pos = b.nextPos
+		b.nextPos = Pos{}
+	case b.autoFile != "":
+		n.Pos = Pos{File: b.autoFile, Line: b.added, Col: 1}
 	}
 	n.ID = len(b.c.Nodes)
 	b.c.Nodes = append(b.c.Nodes, n)

@@ -366,13 +366,6 @@ func (g *Graph) pruneAncestors(cut []int) []int {
 	return out
 }
 
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // edgeWeight is the initial slave-latch count on an edge: 1 on the
 // virtual host→input edges, 0 elsewhere (Section III).
 func edgeWeight(from *netlist.Node) int64 {
@@ -493,7 +486,7 @@ func (g *Graph) buildLP() {
 	// equal-latch-cost optima; under MovementPrimary it dominates. The
 	// secondary term can never outweigh one unit of the primary because
 	// the node count stays far below Scale.
-	if len(g.C.Nodes)*int(minInt64(latchW, moveW)) < Scale/2 {
+	if len(g.C.Nodes)*int(min(latchW, moveW)) < Scale/2 {
 		for _, n := range g.C.Nodes {
 			if n.Kind != netlist.KindOutput {
 				lp.AddObjective(g.varOf[n.ID], -moveW)

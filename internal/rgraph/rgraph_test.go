@@ -94,7 +94,7 @@ func TestFig4GRARSolve(t *testing.T) {
 			t.Fatalf("%v: %v", m, err)
 		}
 		// The paper's ILP solution: r = −1 on I1, I2, G3..G6.
-		want := fig4.OptimalRetiming(c)
+		want := fig4.MustOptimalRetiming(c)
 		for _, n := range c.Nodes {
 			if sol.R[n.ID] != want[n.ID] {
 				t.Errorf("%v: r(%s) = %d, want %d", m, n.Name, sol.R[n.ID], want[n.ID])
