@@ -7,6 +7,7 @@
 #   make analyze    repo-convention analyzers (bare panic, context plumbing)
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
+#   make bench      regenerate BENCH_pipeline.json (perf trajectory)
 
 GO      ?= go
 FUZZTIME ?= 10s
@@ -14,7 +15,7 @@ FUZZTIME ?= 10s
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench
 
 check: vet analyze build race fuzz-smoke
 
@@ -63,6 +64,16 @@ certify:
 			./build/rar -bench $$b -approach $$a -certify >/dev/null; \
 		done; \
 	done
+
+# Perf trajectory snapshot: every seed benchmark under every approach,
+# one JSON row each, with solver-effort counters (simplex pivots, SSP
+# augmenting paths) pulled from the pipeline trace. The committed
+# BENCH_pipeline.json is the baseline future perf PRs diff against; only
+# wall_ms is machine-dependent, every other column is deterministic.
+bench:
+	$(GO) build -o build/rar ./cmd/rar
+	./build/rar -bench-json -bench all -approach grar,base,nvl,evl,rvl > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/

@@ -1,6 +1,7 @@
 package relatch
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"relatch/internal/experiments"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sim"
 	"relatch/internal/sta"
 	"relatch/internal/vlib"
@@ -124,6 +126,37 @@ func BenchmarkGRARSSP(b *testing.B) {
 		if _, err := core.Retime(c, opt, core.ApproachGRAR); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRetimeUntraced is the no-tracer baseline of the
+// instrumentation-overhead pair: the context carries no obs.Tracer, so
+// every StartSpan takes the nil fast path. Compare against
+// BenchmarkRetimeTraced; the disabled-path delta is budgeted < 2%.
+func BenchmarkRetimeUntraced(b *testing.B) {
+	c, opt := mediumCircuit(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RetimeCtx(ctx, c, opt, core.ApproachGRAR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetimeTraced runs the same solve with a live tracer: every
+// span, counter and gauge is recorded (a fresh tracer per iteration, as
+// the CLI does per run).
+func BenchmarkRetimeTraced(b *testing.B) {
+	c, opt := mediumCircuit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.New("bench")
+		ctx := obs.WithTracer(context.Background(), tr)
+		if _, err := core.RetimeCtx(ctx, c, opt, core.ApproachGRAR); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
 	}
 }
 

@@ -3,7 +3,7 @@
 // carries no module dependencies, so golang.org/x/tools/go/analysis is
 // deliberately not used).
 //
-// Two project conventions are enforced:
+// Three project conventions are enforced:
 //
 //  1. no bare panic: library code must return errors. panic( is allowed
 //     only in _test.go files, in the fault-injection harness
@@ -20,6 +20,13 @@
 //     exempt — they are the documented "I have no context" shims — as
 //     are _test.go files (Test* functions are not API) and function
 //     literals that take their own context.Context parameter.
+//
+//  3. stderr discipline: library and example code must not write progress
+//     with fmt.Fprint*(os.Stderr, ...) — structured logging through
+//     log/slog with an obs handler (obs.NewLogger) replaced those lines.
+//     Direct stderr writes are allowed only in cmd/ (the CLIs own their
+//     error text and exit codes), under build/ (repo tooling), and in
+//     _test.go files.
 //
 // Usage: go run ./build/analyzers [root...]  (default root ".").
 // Exits 1 when any finding is reported, 2 on usage/IO errors.
@@ -99,6 +106,7 @@ func checkFile(fset *token.FileSet, f *ast.File, path string) []string {
 	slashed := filepath.ToSlash(path)
 	testFile := strings.HasSuffix(slashed, "_test.go")
 	faultsPkg := strings.Contains(slashed, "internal/faults/")
+	stderrOK := strings.Contains(slashed, "cmd/") || strings.Contains(slashed, "build/")
 
 	for _, decl := range f.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
@@ -111,7 +119,50 @@ func checkFile(fset *token.FileSet, f *ast.File, path string) []string {
 		if !testFile && fn.Name.IsExported() && !acceptsContext(fn.Type) {
 			findings = append(findings, unthreadedCtxCalls(fset, fn, path)...)
 		}
+		if !testFile && !stderrOK {
+			findings = append(findings, stderrWrites(fset, fn, path)...)
+		}
 	}
+	return findings
+}
+
+// stderrWrites reports fmt.Fprint/Fprintf/Fprintln calls whose first
+// argument is os.Stderr. Library progress lines go through log/slog with
+// an obs handler instead; only cmd/ and build/ own stderr directly.
+func stderrWrites(fset *token.FileSet, fn *ast.FuncDecl, path string) []string {
+	var findings []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "fmt" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Fprint", "Fprintf", "Fprintln":
+		default:
+			return true
+		}
+		argSel, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		argPkg, ok := argSel.X.(*ast.Ident)
+		if !ok || argPkg.Name != "os" || argSel.Sel.Name != "Stderr" {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d:%d: %s writes to os.Stderr directly: use log/slog via obs.NewLogger (stderr belongs to cmd/)",
+			path, pos.Line, pos.Column, fn.Name.Name))
+		return true
+	})
 	return findings
 }
 

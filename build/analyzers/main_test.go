@@ -75,6 +75,37 @@ func Retime(c int) error { _, err := g.SolveCtx(bg(), c); _ = err; return err }
 	}
 }
 
+func TestStderrRule(t *testing.T) {
+	src := `package p
+import (
+	"fmt"
+	"os"
+)
+func Bad() { fmt.Fprintf(os.Stderr, "progress %d\n", 1) }
+func AlsoBad() { fmt.Fprintln(os.Stderr, "done") }
+func Fine() { fmt.Fprintf(os.Stdout, "result\n") }
+func fprintfElsewhere(w *os.File) { fmt.Fprintf(w, "x") }
+`
+	got := run(t, "internal/x/x.go", src)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f, "writes to os.Stderr directly") {
+			t.Errorf("finding = %q", f)
+		}
+	}
+	if got := run(t, "cmd/x/main.go", src); len(got) != 0 {
+		t.Errorf("cmd/ exemption broken: %v", got)
+	}
+	if got := run(t, "build/tool/main.go", src); len(got) != 0 {
+		t.Errorf("build/ exemption broken: %v", got)
+	}
+	if got := run(t, "internal/x/x_test.go", src); len(got) != 0 {
+		t.Errorf("_test.go exemption broken: %v", got)
+	}
+}
+
 // TestRepoIsClean runs both rules over the actual repository tree; the
 // conventions the analyzer encodes must hold on the code that ships.
 func TestRepoIsClean(t *testing.T) {

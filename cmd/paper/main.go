@@ -8,6 +8,13 @@
 //	paper [-benchmarks s1196,s1423,...] [-overheads 0.5,1,2]
 //	      [-tables 1,2,...] [-cycles N] [-format text|md|csv] [-quiet]
 //	      [-method auto|simplex|ssp] [-timeout 10m]
+//	      [-trace] [-trace-json] [-trace-chrome out.json] [-metrics]
+//
+// The trace flags observe the whole sweep: -trace prints the span tree
+// (one experiments.circuit span per benchmark, retiming stages below it)
+// to stderr, -trace-json the same as JSON, -metrics a Prometheus-style
+// dump, and -trace-chrome writes a chrome://tracing-loadable file. The
+// tables on stdout are unaffected.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
 // interrupt.
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +34,7 @@ import (
 
 	"relatch/internal/experiments"
 	"relatch/internal/flow"
+	"relatch/internal/obs"
 	"relatch/internal/report"
 )
 
@@ -38,6 +47,10 @@ func main() {
 	method := flag.String("method", "auto", "flow solver: auto (simplex with certified ssp fallback), simplex or ssp")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	trace := flag.Bool("trace", false, "print the sweep's span tree (per-benchmark stages, solver counters) to stderr")
+	traceJSON := flag.Bool("trace-json", false, "print the span tree as JSON to stderr")
+	traceChrome := flag.String("trace-chrome", "", "write the trace in Chrome trace-event format to this file")
+	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics for the sweep to stderr")
 	flag.Parse()
 
 	cfg := experiments.Config{SimCycles: *cycles}
@@ -59,7 +72,7 @@ func main() {
 	}
 	cfg.Method = m
 	if !*quiet {
-		cfg.Progress = os.Stderr
+		cfg.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 	}
 
 	want := map[int]bool{}
@@ -81,7 +94,37 @@ func main() {
 		defer cancel()
 	}
 
+	var tr *obs.Tracer
+	if *trace || *traceJSON || *traceChrome != "" || *metrics {
+		tr = obs.New("paper")
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	export := func() {
+		if tr == nil {
+			return
+		}
+		tr.Finish()
+		rep := tr.Report()
+		if *trace {
+			rep.WriteText(os.Stderr)
+		}
+		if *traceJSON {
+			if err := rep.WriteJSON(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: trace-json: %v\n", err)
+			}
+		}
+		if *metrics {
+			rep.WriteMetrics(os.Stderr)
+		}
+		if *traceChrome != "" {
+			if err := writeChrome(rep, *traceChrome); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: trace-chrome: %v\n", err)
+			}
+		}
+	}
+
 	suite, err := experiments.RunCtx(ctx, cfg)
+	export()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -117,4 +160,17 @@ func emit(w io.Writer, t *report.Table, format string) {
 func usagef(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// writeChrome writes the Chrome trace-event export to the named file.
+func writeChrome(rep *obs.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,6 +9,9 @@
 //	rar -verilog s27.v -approach rvl -c 2.0 -dump
 //	rar -verilog s27.v -lint
 //	rar -bench s1196 -lint -lint-json
+//	rar -bench s5378 -approach grar -trace -metrics
+//	rar -bench s5378 -trace-chrome trace.json
+//	rar -bench-json -bench all -approach grar,base,nvl,evl,rvl
 //
 // With -lint the circuit is statically analyzed instead of retimed: every
 // lint rule runs (see -lint-disable) and diagnostics print with source
@@ -21,6 +24,13 @@
 // -certify-json. The core approaches (grar, base) always run the
 // certifier as a post-solve gate; the flag additionally certifies the
 // virtual-library approaches and renders the certificate.
+//
+// The trace flags observe the pipeline: -trace prints the span tree
+// (per-stage durations, simplex pivots, SSP augmenting paths, LP sizes)
+// to stderr, -trace-json the same as JSON, -metrics a Prometheus-style
+// dump, and -trace-chrome writes a chrome://tracing-loadable file; stdout
+// stays machine-pure throughout. -bench-json runs benchmark×approach
+// cells and prints one JSON row each on stdout (see make bench).
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 timeout or
 // interrupt, 4 lint findings (error-severity diagnostics; warnings alone
@@ -47,6 +57,7 @@ import (
 	"relatch/internal/flow"
 	"relatch/internal/lint"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sta"
 	"relatch/internal/verilog"
 	"relatch/internal/vlib"
@@ -79,6 +90,11 @@ func main() {
 	certify := flag.Bool("certify", false, "print the independent output certificate (exit 5 on findings)")
 	certifyJSON := flag.Bool("certify-json", false, "with -certify, print the certificate as JSON (implies -certify)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	trace := flag.Bool("trace", false, "print the pipeline span tree (stages, durations, solver counters) to stderr")
+	traceJSON := flag.Bool("trace-json", false, "print the span tree as JSON to stderr")
+	traceChrome := flag.String("trace-chrome", "", "write the trace in Chrome trace-event format to this file (load via chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics for the run to stderr")
+	benchJSON := flag.Bool("bench-json", false, "benchmark mode: run -bench (comma-separated list) × -approach (comma-separated list) and print one JSON record per row to stdout")
 	flag.Parse()
 
 	if *list {
@@ -96,7 +112,7 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, options{
+	o := options{
 		benchName:   *benchName,
 		verilogPath: *verilogPath,
 		approach:    *approach,
@@ -111,7 +127,29 @@ func main() {
 		lintDisable: *lintDisable,
 		certify:     *certify || *certifyJSON,
 		certifyJSON: *certifyJSON,
-	})
+		trace:       *trace,
+		traceJSON:   *traceJSON,
+		traceChrome: *traceChrome,
+		metrics:     *metrics,
+	}
+
+	var err error
+	if *benchJSON {
+		err = runBenchJSON(ctx, o)
+	} else {
+		var tr *obs.Tracer
+		if o.traced() {
+			tr = obs.New("rar")
+			ctx = obs.WithTracer(ctx, tr)
+		}
+		err = run(ctx, o)
+		if tr != nil {
+			tr.Finish()
+			if xerr := exportTrace(tr.Report(), o); err == nil {
+				err = xerr
+			}
+		}
+	}
 	if err == nil {
 		return
 	}
@@ -144,6 +182,44 @@ type options struct {
 	lintDisable            string
 	certify                bool
 	certifyJSON            bool
+	trace                  bool
+	traceJSON              bool
+	traceChrome            string
+	metrics                bool
+}
+
+// traced reports whether any trace/metrics export was requested.
+func (o options) traced() bool {
+	return o.trace || o.traceJSON || o.traceChrome != "" || o.metrics
+}
+
+// exportTrace renders the finished report per the output flags. Trace
+// output goes to stderr (or the named Chrome-trace file) so stdout keeps
+// its machine-purity contracts (-lint-json, -certify-json, -bench-json).
+func exportTrace(rep *obs.Report, o options) error {
+	if o.trace {
+		rep.WriteText(os.Stderr)
+	}
+	if o.traceJSON {
+		if err := rep.WriteJSON(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if o.metrics {
+		rep.WriteMetrics(os.Stderr)
+	}
+	if o.traceChrome != "" {
+		f, err := os.Create(o.traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func run(ctx context.Context, o options) error {
@@ -169,7 +245,7 @@ func run(ctx context.Context, o options) error {
 		if err != nil {
 			return err
 		}
-		seq, err = verilog.ParseNamed(f, lib, o.verilogPath)
+		seq, err = verilog.ParseNamedCtx(ctx, f, lib, o.verilogPath)
 		f.Close()
 		if err != nil {
 			return err

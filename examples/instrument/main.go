@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -19,10 +20,12 @@ import (
 	"relatch/internal/cell"
 	"relatch/internal/core"
 	"relatch/internal/edl"
+	"relatch/internal/obs"
 	"relatch/internal/verilog"
 )
 
 func main() {
+	info := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	lib := cell.Default(1.0)
 	prof, _ := bench.ProfileByName("s1196")
 	seq, err := prof.BuildSeq(lib)
@@ -46,17 +49,17 @@ func main() {
 		}
 	}
 	sort.Strings(protect)
-	fmt.Fprintf(os.Stderr, "G-RAR leaves %d error-detecting masters: %v\n", len(protect), protect)
+	info.Info("retimed", "ed_masters", len(protect), "names", fmt.Sprintf("%v", protect))
 
 	inst, err := edl.Instrument(seq, protect, 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "instrumented: %d flops (+%d shadow), %d gates (+%d detection)\n",
-		len(inst.FFs), len(inst.FFs)-len(seq.FFs),
-		inst.GateCount(), inst.GateCount()-seq.GateCount())
+	info.Info("instrumented",
+		"flops", len(inst.FFs), "shadow", len(inst.FFs)-len(seq.FFs),
+		"gates", inst.GateCount(), "detection", inst.GateCount()-seq.GateCount())
 	overhead := edl.OverheadFactor(lib, edl.ShadowFF, 8)
-	fmt.Fprintf(os.Stderr, "amortized shadow-FF overhead factor c = %.2f (the paper sweeps 0.5-2)\n", overhead)
+	info.Info("overhead", "c", fmt.Sprintf("%.2f", overhead), "paper_sweep", "0.5-2")
 
 	if err := verilog.Write(os.Stdout, inst); err != nil {
 		log.Fatal(err)

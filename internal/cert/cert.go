@@ -40,6 +40,7 @@ import (
 	"relatch/internal/cell"
 	"relatch/internal/clocking"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sta"
 )
 
@@ -303,13 +304,21 @@ func Run(ctx context.Context, s Subject, cfg Config) (*Certificate, error) {
 	crt := &Certificate{Circuit: s.Retimed.Name, Approach: s.Approach, SeqArea: s.SeqArea,
 		Findings: []Finding{}}
 
+	sp, ctx := obs.StartSpan(ctx, "cert.run")
+	defer func() {
+		sp.Add("findings", int64(len(crt.Findings)))
+		sp.End()
+	}()
+	sp.Attr("approach", s.Approach)
 	record := func(name string, fs []Finding) {
 		crt.Checks = append(crt.Checks, CheckResult{
 			Name: name, Passed: len(fs) == 0, Findings: len(fs)})
 		crt.Findings = append(crt.Findings, fs...)
+		sp.Add("checks_run", 1)
 	}
 	skip := func(name string) {
 		crt.Checks = append(crt.Checks, CheckResult{Name: name, Skipped: true})
+		sp.Add("checks_skipped", 1)
 	}
 	guard := func() error {
 		if err := ctx.Err(); err != nil {

@@ -24,6 +24,7 @@ import (
 	"relatch/internal/flow"
 	"relatch/internal/lint"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/rgraph"
 	"relatch/internal/sta"
 )
@@ -61,6 +62,10 @@ type Options struct {
 	FixedDelays map[int]float64
 	// Method selects the flow solver (network simplex by default).
 	Method flow.Method
+	// PivotLimit overrides the simplex pivot budget of the backing flow
+	// solve (0 = automatic); exceeded budgets trigger the certified SSP
+	// fallback under flow.MethodAuto.
+	PivotLimit int
 	// StaOverride, when non-nil, fully replaces the derived sta options.
 	StaOverride *sta.Options
 }
@@ -109,6 +114,13 @@ type Result struct {
 	// certification fails, so callers can inspect the findings behind
 	// the returned error.
 	Certificate *cert.Certificate
+
+	// Trace is the observability report of the run — the span tree with
+	// per-stage durations and solver counters — when the context carried
+	// an obs.Tracer; nil otherwise. The report wraps the caller's live
+	// tracer, so exporting it after the pipeline finishes reflects every
+	// stage, including ones outside this call.
+	Trace *obs.Report
 
 	Runtime time.Duration
 }
@@ -167,6 +179,10 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := obs.StartSpan(ctx, "core.retime")
+	defer sp.End()
+	sp.Attr("approach", approach.String())
+	sp.Attr("circuit", c.Name)
 	staOpt := staOptions(c, opt)
 	if err := staOpt.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
@@ -192,7 +208,7 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 		}
 		return nil, fmt.Errorf("core: %s: pre-flight %w", approach, ferr)
 	}
-	optTiming := sta.Analyze(c, staOpt)
+	optTiming := sta.AnalyzeCtx(ctx, c, staOpt)
 	latch := slaveLatch(c, opt)
 	cfg := rgraph.Config{
 		Scheme:         opt.Scheme,
@@ -202,20 +218,28 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 		// Base models the commercial tool's minimum-perturbation
 		// behavior (see rgraph.Config.MovementPrimary).
 		MovementPrimary: approach == ApproachBase,
+		PivotLimit:      opt.PivotLimit,
 	}
 	// Snapshot the cloud before the solver sees it: the post-solve
 	// certifier compares the circuit that comes back against this
 	// fingerprint, so any in-place corruption is caught.
 	shape := cert.Snapshot(c)
+	bsp, _ := obs.StartSpan(ctx, "rgraph.build")
 	g, err := rgraph.Build(c, optTiming, cfg)
 	if err != nil {
+		bsp.Fail(err)
+		bsp.End()
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
 	}
+	bsp.Gauge("variables", int64(g.NumVariables()))
+	bsp.Gauge("constraints", int64(g.NumConstraints()))
+	bsp.End()
 	sol, err := g.SolveCtx(ctx, opt.Method)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
 	}
-	res := evaluate(c, opt, approach, sol.Placement, latch)
+	res := evaluate(ctx, c, opt, approach, sol.Placement, latch)
+	res.Trace = obs.FromContext(ctx).Report()
 	res.Objective = sol.Objective
 	res.Solver = sol.Method
 	res.SolverFallback = sol.Fallback
@@ -265,8 +289,10 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 
 // evaluate settles ED status and areas for a placement under the
 // evaluation timing model.
-func evaluate(c *netlist.Circuit, opt Options, approach Approach, p *netlist.Placement, latch cell.Latch) *Result {
-	evalTiming := sta.Analyze(c, evalOptions(c, opt))
+func evaluate(ctx context.Context, c *netlist.Circuit, opt Options, approach Approach, p *netlist.Placement, latch cell.Latch) *Result {
+	sp, ctx := obs.StartSpan(ctx, "core.evaluate")
+	defer sp.End()
+	evalTiming := sta.AnalyzeCtx(ctx, c, evalOptions(c, opt))
 	la := sta.AnalyzeLatched(evalTiming, p, opt.Scheme, latch)
 	ed := la.EDMasters()
 
@@ -283,6 +309,10 @@ func evaluate(c *netlist.Circuit, opt Options, approach Approach, p *netlist.Pla
 	}
 	res.SeqArea = cell.SeqAreaOf(c.Lib, opt.EDLCost, res.SlaveCount, res.MasterCount, res.EDCount)
 	res.TotalArea = res.SeqArea + c.CombArea()
+	sp.Gauge("slaves", int64(res.SlaveCount))
+	sp.Gauge("masters", int64(res.MasterCount))
+	sp.Gauge("ed_masters", int64(res.EDCount))
+	sp.Gauge("violations", int64(len(res.Violations)))
 	return res
 }
 
@@ -295,7 +325,7 @@ func Evaluate(c *netlist.Circuit, opt Options, p *netlist.Placement) (*Result, e
 	if err := p.Validate(c); err != nil {
 		return nil, fmt.Errorf("core: placement: %w", err)
 	}
-	return evaluate(c, opt, Approach(-1), p, slaveLatch(c, opt)), nil
+	return evaluate(context.Background(), c, opt, Approach(-1), p, slaveLatch(c, opt)), nil
 }
 
 // SeqAreaOf recomputes the sequential-area formula for explicit counts;

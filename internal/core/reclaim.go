@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"relatch/internal/synth"
@@ -34,7 +35,7 @@ func ReclaimBySizing(res *Result, maxIter int) (*Result, synth.CompileResult, er
 	}
 	comp := tool.SizeOnlyCompile(req, res.Placement, opt.Scheme, latch, maxIter)
 
-	out := evaluate(c, opt, res.Approach, res.Placement, latch)
+	out := evaluate(context.Background(), c, opt, res.Approach, res.Placement, latch)
 	out.Objective = res.Objective
 	out.Classes = res.Classes
 	out.Runtime = res.Runtime

@@ -9,7 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"io"
+	"log/slog"
 	"time"
 
 	"relatch/internal/bench"
@@ -18,6 +18,7 @@ import (
 	"relatch/internal/core"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sim"
 	"relatch/internal/sta"
 	"relatch/internal/vlib"
@@ -52,8 +53,10 @@ type Config struct {
 	MovableTrials int
 	// Method selects the flow solver.
 	Method flow.Method
-	// Progress, when non-nil, receives one line per completed step.
-	Progress io.Writer
+	// Logger, when non-nil, receives one structured record per completed
+	// step (obs.NewLogger renders them as compact single lines); nil
+	// discards progress.
+	Logger *slog.Logger
 }
 
 // CircuitRun holds everything measured for one benchmark.
@@ -97,10 +100,11 @@ type Suite struct {
 	Runs   []*CircuitRun
 }
 
-func (cfg *Config) progress(format string, args ...interface{}) {
-	if cfg.Progress != nil {
-		fmt.Fprintf(cfg.Progress, format+"\n", args...)
+func (cfg *Config) logger() *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
 	}
+	return obs.DiscardLogger()
 }
 
 // simCycles scales the simulation length to the circuit size.
@@ -159,6 +163,9 @@ func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sweep cancelled before %s: %w", prof.Name, err)
 	}
+	sp, ctx := obs.StartSpan(ctx, "experiments.circuit")
+	defer sp.End()
+	sp.Attr("bench", prof.Name)
 	seq, err := prof.BuildSeq(lib)
 	if err != nil {
 		return nil, err
@@ -177,7 +184,7 @@ func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.
 	run.FlopAreaDesign = float64(prof.Flops)*lib.FF.Area + c.CombArea()
 	run.InitialED = bench.MeasureInitialED(c, scheme)
 	run.GenRuntime = time.Since(t0)
-	cfg.progress("%s: generated (%d gates, NCE %d)", prof.Name, c.GateCount(), run.InitialED)
+	cfg.logger().Info("generated", "bench", prof.Name, "gates", c.GateCount(), "nce", run.InitialED)
 
 	tm := sta.Analyze(c, sta.DefaultOptions(lib))
 	cycles := cfg.simCycles(c.GateCount())
@@ -255,8 +262,8 @@ func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.
 		}
 
 		run.ByOverhead[ov] = or
-		cfg.progress("%s c=%g: base %.0f, g-rar %.0f, rvl %.0f (total area)",
-			prof.Name, ov, or.Base.TotalArea, or.GRARPath.TotalArea, or.RVL.TotalArea)
+		cfg.logger().Info("overhead swept", "bench", prof.Name, "c", ov,
+			"base_area", or.Base.TotalArea, "grar_area", or.GRARPath.TotalArea, "rvl_area", or.RVL.TotalArea)
 	}
 	return run, nil
 }

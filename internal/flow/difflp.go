@@ -3,6 +3,8 @@ package flow
 import (
 	"context"
 	"fmt"
+
+	"relatch/internal/obs"
 )
 
 // Method selects the flow solver backing a solve.
@@ -183,8 +185,13 @@ func (l *DiffLP) Preflight() error {
 // it with the selected method (hardened fallback under MethodAuto), and
 // reads the optimal r values off the node potentials.
 func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
+	sp, ctx := obs.StartSpan(ctx, "flow.difflp")
+	defer sp.End()
+	sp.Gauge("variables", int64(l.n))
+	sp.Gauge("constraints", int64(len(l.cons)))
 	nw, perm, err := l.lower()
 	if err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
 	nw.SetPivotLimit(l.pivotLimit)

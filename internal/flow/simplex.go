@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"relatch/internal/ints"
+	"relatch/internal/obs"
 )
 
 // arcState tracks where a non-tree arc sits.
@@ -29,7 +30,17 @@ func (nw *Network) SolveSimplex() (*Solution, error) {
 // SolveSimplexCtx is SolveSimplex under a context: cancellation and
 // deadline expiry are observed between pivots and surface as errors
 // wrapping ctx.Err().
-func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
+func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err error) {
+	// Counters accumulate in locals and land on the span once, in the
+	// deferred close: the pivot loop itself stays instrumentation-free.
+	sp, ctx := obs.StartSpan(ctx, "flow.simplex")
+	var pivotCount, degenerateCount int
+	defer func() {
+		sp.Add("pivots", int64(pivotCount))
+		sp.Add("degenerate_pivots", int64(degenerateCount))
+		sp.Fail(err)
+		sp.End()
+	}()
 	if err := nw.checkBalanced(); err != nil {
 		return nil, err
 	}
@@ -37,6 +48,8 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 		return nil, err
 	}
 	n := nw.n
+	sp.Gauge("nodes", int64(n))
+	sp.Gauge("arcs", int64(len(nw.arcs)))
 	root := n
 	m := len(nw.arcs)
 
@@ -120,6 +133,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 	}
 
 	for pivots := 0; ; pivots++ {
+		pivotCount = pivots
 		if pivots > maxPivots {
 			return nil, fmt.Errorf("flow: %w: simplex exceeded %d pivots", ErrPivotLimit, maxPivots)
 		}
@@ -229,6 +243,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 		}
 		if delta == 0 {
 			degenerate++
+			degenerateCount++
 		} else {
 			degenerate = 0
 		}
@@ -335,7 +350,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (*Solution, error) {
 			return nil, fmt.Errorf("flow: %w: artificial arc carries %d units", ErrInfeasible, flow[i])
 		}
 	}
-	sol := &Solution{Flow: make([]int64, m)}
+	sol = &Solution{Flow: make([]int64, m)}
 	for i := 0; i < m; i++ {
 		sol.Flow[i] = flow[i]
 		sol.Cost += nw.arcs[i].Cost * flow[i]

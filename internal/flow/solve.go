@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"relatch/internal/obs"
 )
 
 // Report records how a hardened solve reached its answer.
@@ -41,6 +43,9 @@ func definitive(err error) bool {
 // when the simplex exhausts its pivot budget or its answer fails the
 // certificate. The report records which solver won and why.
 func (nw *Network) SolveMethod(ctx context.Context, method Method) (*Solution, Report, error) {
+	sp, ctx := obs.StartSpan(ctx, "flow.solve")
+	defer sp.End()
+	sp.Attr("method", method.String())
 	var rep Report
 	solveOne := func(m Method) (*Solution, error) {
 		var sol *Solution
@@ -53,7 +58,11 @@ func (nw *Network) SolveMethod(ctx context.Context, method Method) (*Solution, R
 		if err != nil {
 			return nil, err
 		}
-		if err := nw.Certify(sol); err != nil {
+		csp, _ := obs.StartSpan(ctx, "flow.certify")
+		err = nw.Certify(sol)
+		csp.Fail(err)
+		csp.End()
+		if err != nil {
 			return nil, err
 		}
 		return sol, nil
@@ -76,6 +85,11 @@ func (nw *Network) SolveMethod(ctx context.Context, method Method) (*Solution, R
 			return nil, Report{Solver: MethodSimplex}, err
 		}
 		reason := err.Error()
+		// The fallback decision is the event perf investigations look
+		// for: mark it on the solve span with its reason.
+		sp.Event("fallback")
+		sp.Attr("fallback_reason", reason)
+		sp.Add("fallbacks", 1)
 		sol, sspErr := solveOne(MethodSSP)
 		if sspErr != nil {
 			return nil, Report{Solver: MethodSSP, Fallback: true, FallbackReason: reason},

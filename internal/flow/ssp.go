@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"relatch/internal/obs"
 )
 
 // SolveSSP computes a min-cost flow by successive shortest paths with
@@ -19,13 +21,25 @@ func (nw *Network) SolveSSP() (*Solution, error) {
 // SolveSSPCtx is SolveSSP under a context: cancellation and deadline
 // expiry are observed between augmentation rounds and surface as errors
 // wrapping ctx.Err().
-func (nw *Network) SolveSSPCtx(ctx context.Context) (*Solution, error) {
+func (nw *Network) SolveSSPCtx(ctx context.Context) (sol *Solution, err error) {
+	// Counters accumulate in locals and land on the span once, in the
+	// deferred close: the augmentation loop stays instrumentation-free.
+	sp, ctx := obs.StartSpan(ctx, "flow.ssp")
+	var augmentingPaths, unitsRouted int64
+	defer func() {
+		sp.Add("augmenting_paths", augmentingPaths)
+		sp.Add("units_routed", unitsRouted)
+		sp.Fail(err)
+		sp.End()
+	}()
 	if err := nw.checkBalanced(); err != nil {
 		return nil, err
 	}
 	if err := nw.checkMagnitudes(); err != nil {
 		return nil, err
 	}
+	sp.Gauge("nodes", int64(nw.n))
+	sp.Gauge("arcs", int64(len(nw.arcs)))
 	// Residual arc representation: pairs (2i, 2i+1) are the forward and
 	// backward residuals of input arc i. Super source S and sink T are
 	// appended as nodes n and n+1.
@@ -106,6 +120,7 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (*Solution, error) {
 
 	var sent int64
 	for sent < total {
+		augmentingPaths++
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("flow: ssp cancelled after routing %d of %d units: %w", sent, total, ctx.Err())
@@ -165,9 +180,10 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (*Solution, error) {
 			v = arcs[ai^1].to
 		}
 		sent += push
+		unitsRouted = sent
 	}
 
-	sol := &Solution{Flow: make([]int64, len(nw.arcs))}
+	sol = &Solution{Flow: make([]int64, len(nw.arcs))}
 	for i, a := range nw.arcs {
 		// Flow on input arc i is the residual capacity of its backward arc.
 		x := arcs[2*i+1].cap

@@ -24,6 +24,7 @@ import (
 
 	"relatch/internal/clocking"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sta"
 )
 
@@ -229,6 +230,16 @@ func Run(ctx context.Context, in Input, cfg Config) (rep *Report, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := obs.StartSpan(ctx, "lint.run")
+	defer func() {
+		if rep != nil {
+			errs, warns := rep.Counts()
+			sp.Add("findings_error", int64(errs))
+			sp.Add("findings_warning", int64(warns))
+		}
+		sp.Fail(err)
+		sp.End()
+	}()
 	cx := newContext(in)
 	rep = &Report{Circuit: in.Circuit.Name}
 	defer func() {
@@ -247,6 +258,7 @@ func Run(ctx context.Context, in Input, cfg Config) (rep *Report, err error) {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		rep.Diagnostics = append(rep.Diagnostics, r.Check(cx, r)...)
+		sp.Add("rules_run", 1)
 	}
 	return rep, nil
 }

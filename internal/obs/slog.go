@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogHandler is the repo's slog handler: compact single-line records
+// ("15:04:05.000 LEVEL message key=value ...") aimed at progress output
+// on stderr. It replaces the ad-hoc fmt.Fprintf(os.Stderr, ...) progress
+// lines the pipeline used to emit — library code logs through slog and
+// the binary decides the sink.
+type LogHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  slog.Leveler
+	prefix string // pre-rendered groups/attrs from WithAttrs/WithGroup
+	groups []string
+}
+
+// NewLogHandler creates a handler writing at or above the level
+// (nil means slog.LevelInfo).
+func NewLogHandler(w io.Writer, level slog.Leveler) *LogHandler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &LogHandler{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// NewLogger is the convenience constructor the CLIs use:
+// slog.New(NewLogHandler(w, level)).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewLogHandler(w, level))
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level.Level()
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	if !rec.Time.IsZero() {
+		b.WriteString(rec.Time.Format("15:04:05.000"))
+		b.WriteByte(' ')
+	}
+	b.WriteString(rec.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(rec.Message)
+	b.WriteString(h.prefix)
+	qualifier := strings.Join(h.groups, ".")
+	rec.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, qualifier, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	qualifier := strings.Join(h.groups, ".")
+	for _, a := range attrs {
+		appendAttr(&b, qualifier, a)
+	}
+	nh := *h
+	nh.prefix = h.prefix + b.String()
+	return &nh
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return &nh
+}
+
+// appendAttr renders one attribute as " key=value", quoting values that
+// contain spaces and flattening groups with dotted keys.
+func appendAttr(b *strings.Builder, qualifier string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	key := a.Key
+	if qualifier != "" {
+		key = qualifier + "." + key
+	}
+	if a.Value.Kind() == slog.KindGroup {
+		for _, ga := range a.Value.Group() {
+			appendAttr(b, key, ga)
+		}
+		return
+	}
+	v := a.Value.Resolve()
+	var s string
+	switch v.Kind() {
+	case slog.KindDuration:
+		s = fmtDuration(v.Duration())
+	case slog.KindTime:
+		s = v.Time().Format(time.RFC3339)
+	default:
+		s = v.String()
+	}
+	if strings.ContainsAny(s, " \t\n\"") {
+		s = fmt.Sprintf("%q", s)
+	}
+	fmt.Fprintf(b, " %s=%s", key, s)
+}
+
+// discardHandler drops every record (slog.DiscardHandler exists only
+// from Go 1.24; the module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DiscardLogger returns a logger that drops everything — the default for
+// library code when the caller supplies no logger.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }

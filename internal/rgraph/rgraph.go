@@ -25,6 +25,7 @@ import (
 	"relatch/internal/clocking"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/sta"
 )
 
@@ -64,6 +65,10 @@ type Config struct {
 	// non-error-detecting master, which is how the latch-type decision
 	// constrains the tool's retiming (Section V).
 	Required map[int]float64
+	// PivotLimit overrides the simplex pivot budget of the backing flow
+	// solve (0 = automatic). Callers use it for early bail-out and tests
+	// use it to force the simplex→SSP fallback through the full stack.
+	PivotLimit int
 }
 
 // TargetClass classifies a master endpoint's error-detecting status
@@ -528,6 +533,7 @@ func (g *Graph) buildLP() {
 	for _, p := range g.pseudoOf {
 		lp.Bound(p, -1, 0)
 	}
+	lp.SetPivotLimit(g.Cfg.PivotLimit)
 	g.lp = lp
 }
 
@@ -582,8 +588,14 @@ func (g *Graph) Solve(method flow.Method) (*Solution, error) {
 // duals back to a slave-latch placement. The context bounds the solve;
 // cancellation surfaces as an error wrapping ctx.Err().
 func (g *Graph) SolveCtx(ctx context.Context, method flow.Method) (*Solution, error) {
+	sp, ctx := obs.StartSpan(ctx, "rgraph.solve")
+	defer sp.End()
+	sp.Gauge("variables", int64(g.numVars))
+	sp.Gauge("constraints", int64(g.lp.NumConstraints()))
+	sp.Gauge("targets", int64(len(g.pseudoOf)))
 	res, err := g.lp.SolveCtx(ctx, method)
 	if err != nil {
+		sp.Fail(err)
 		return nil, fmt.Errorf("rgraph: %w", err)
 	}
 	sol := &Solution{
@@ -603,9 +615,14 @@ func (g *Graph) SolveCtx(ctx context.Context, method flow.Method) (*Solution, er
 	for id, p := range g.pseudoOf {
 		sol.PseudoFired[id] = res.R[p] == -1
 	}
+	asp, _ := obs.StartSpan(ctx, "placement.apply")
 	sol.Placement = netlist.FromRetiming(g.C, sol.R)
 	if err := sol.Placement.Validate(g.C); err != nil {
+		asp.Fail(err)
+		asp.End()
 		return nil, fmt.Errorf("rgraph: solver produced an illegal cut: %w", err)
 	}
+	asp.Gauge("slaves", int64(sol.Placement.SlaveCount()))
+	asp.End()
 	return sol, nil
 }

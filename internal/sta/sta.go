@@ -15,12 +15,14 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"relatch/internal/cell"
 	"relatch/internal/clocking"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 )
 
 // Model selects how edge delays are computed.
@@ -142,6 +144,29 @@ func AnalyzeChecked(c *netlist.Circuit, opt Options) (*Timing, error) {
 		return nil, err
 	}
 	return Analyze(c, opt), nil
+}
+
+// AnalyzeCtx is Analyze under a context: the pass itself never blocks,
+// but when the context carries a tracer the analysis is recorded as an
+// "sta.analyze" span with its node count and relaxation count (one
+// relaxation per fanin edge of the single topological sweep — the
+// quantity retiming literature reports as STA cost).
+func AnalyzeCtx(ctx context.Context, c *netlist.Circuit, opt Options) *Timing {
+	sp, _ := obs.StartSpan(ctx, "sta.analyze")
+	defer sp.End()
+	t := Analyze(c, opt)
+	if sp.Enabled() {
+		sp.Attr("model", opt.Model.String())
+		sp.Gauge("nodes", int64(len(c.Nodes)))
+		var relaxations int64
+		for _, n := range c.Nodes {
+			if n.Kind != netlist.KindInput {
+				relaxations += int64(len(n.Fanin))
+			}
+		}
+		sp.Add("relaxations", relaxations)
+	}
+	return t
 }
 
 // Analyze runs a full forward timing pass.

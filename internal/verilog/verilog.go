@@ -9,6 +9,7 @@
 package verilog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"relatch/internal/cell"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 )
 
 // primitive gate names of the subset.
@@ -54,6 +56,28 @@ func ParseNamed(r io.Reader, lib *cell.Library, name string) (*netlist.SeqCircui
 	}
 	p := &parser{toks: toks, lib: lib, file: name}
 	return p.module()
+}
+
+// ParseNamedCtx is ParseNamed under a context: when the context carries
+// an obs tracer, the parse is recorded as a "verilog.parse" span with
+// token and design-size counters, so a traced pipeline shows where front
+// end time goes next to the solver spans.
+func ParseNamedCtx(ctx context.Context, r io.Reader, lib *cell.Library, name string) (*netlist.SeqCircuit, error) {
+	sp, _ := obs.StartSpan(ctx, "verilog.parse")
+	defer sp.End()
+	sp.Attr("file", name)
+	sc, err := ParseNamed(r, lib, name)
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	if sp.Enabled() {
+		sp.Gauge("nodes", int64(len(sc.Nodes)))
+		sp.Gauge("inputs", int64(len(sc.PIs)))
+		sp.Gauge("outputs", int64(len(sc.POs)))
+		sp.Gauge("flops", int64(len(sc.FFs)))
+	}
+	return sc, nil
 }
 
 // ParseString is Parse over a string.

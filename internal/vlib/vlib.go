@@ -29,6 +29,7 @@ import (
 	"relatch/internal/core"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
+	"relatch/internal/obs"
 	"relatch/internal/rgraph"
 	"relatch/internal/sta"
 	"relatch/internal/synth"
@@ -124,14 +125,28 @@ func Retime(cin *netlist.Circuit, opt Options, variant Variant) (*Result, error)
 
 // RetimeCtx is Retime under a context: the repeated flow solves of the
 // relax-and-retry loop observe cancellation and deadline expiry.
-func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant Variant) (*Result, error) {
+func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant Variant) (res *Result, err error) {
 	start := time.Now()
+	var attempts int64
 	if cin == nil {
 		return nil, fmt.Errorf("vlib: nil circuit")
 	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := obs.StartSpan(ctx, "vlib.retime")
+	sp.Attr("variant", variant.String())
+	sp.Attr("circuit", cin.Name)
+	defer func() {
+		if res != nil {
+			sp.Add("attempts", attempts)
+			sp.Add("relaxed", int64(res.Relaxed))
+			sp.Add("swaps", int64(res.Swaps))
+			sp.Add("upsized", int64(res.Upsized))
+		}
+		sp.Fail(err)
+		sp.End()
+	}()
 	c := cin.Clone()
 	lib := c.Lib
 	staOpt := sta.DefaultOptions(lib)
@@ -139,7 +154,7 @@ func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant V
 	latch := lib.BaseLatch
 
 	ed := initialTypes(c, tool.Timing(), opt.Scheme, variant)
-	res := &Result{Variant: variant, Circuit: c}
+	res = &Result{Variant: variant, Circuit: c}
 
 	// The tool retimes for minimum latch count under the type-derived
 	// max-delay constraints; infeasible type assignments are repaired by
@@ -148,6 +163,7 @@ func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant V
 	// non-error-detecting latches" (Section V).
 	var sol *rgraph.Solution
 	for attempt := 0; ; attempt++ {
+		attempts++
 		g, err := rgraph.Build(c, tool.Timing(), rgraph.Config{
 			Scheme:         opt.Scheme,
 			Latch:          latch,
