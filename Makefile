@@ -8,14 +8,18 @@
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 #   make bench      regenerate BENCH_pipeline.json (perf trajectory)
+#   make serve-smoke end-to-end smoke of rar -serve over real HTTP
 
 GO      ?= go
 FUZZTIME ?= 10s
+# Workers for the bench sweep; any value produces row-identical JSON
+# (engine determinism contract), so parallelism is safe for the baseline.
+BENCHJOBS ?= 4
 # Benchmarks materialized as Verilog and re-linted through the parser;
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke
 
 check: vet analyze build race fuzz-smoke
 
@@ -72,8 +76,44 @@ certify:
 # wall_ms is machine-dependent, every other column is deterministic.
 bench:
 	$(GO) build -o build/rar ./cmd/rar
-	./build/rar -bench-json -bench all -approach grar,base,nvl,evl,rvl > BENCH_pipeline.json
+	./build/rar -bench-json -bench all -approach grar,base,nvl,evl,rvl -j $(BENCHJOBS) > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
+
+# End-to-end smoke of the HTTP serve mode: start rar -serve, submit a
+# benchmark job over real HTTP, poll it to completion, and require the
+# result to carry a clean certificate. Cleans up the server on any exit.
+SERVEADDR ?= 127.0.0.1:18417
+serve-smoke:
+	$(GO) build -o build/rar ./cmd/rar
+	@set -e; \
+	./build/rar -serve $(SERVEADDR) -j 2 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SERVEADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test $$up = 1 || { echo "serve-smoke: server never came up"; exit 1; }; \
+	resp=$$(curl -fsS -X POST http://$(SERVEADDR)/jobs \
+		-d '{"bench":"s1196","approach":"grar","c":1.0}'); \
+	echo "$$resp"; \
+	id=$$(printf '%s' "$$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "serve-smoke: no job id in response"; exit 1; }; \
+	out=; for i in $$(seq 1 100); do \
+		out=$$(curl -fsS http://$(SERVEADDR)/jobs/$$id); \
+		case "$$out" in \
+			*'"status":"done"'*) break;; \
+			*'"status":"failed"'*) echo "$$out"; exit 1;; \
+		esac; \
+		sleep 0.2; \
+	done; \
+	echo "$$out"; \
+	case "$$out" in \
+		*'"certified":true'*) ;; \
+		*) echo "serve-smoke: job finished without a clean certificate"; exit 1;; \
+	esac; \
+	curl -fsS http://$(SERVEADDR)/metrics | grep -q '^relatch_engine_submitted_total 1$$' \
+		|| { echo "serve-smoke: metrics missing submission counter"; exit 1; }; \
+	echo "serve-smoke ok"
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/

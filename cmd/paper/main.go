@@ -8,7 +8,12 @@
 //	paper [-benchmarks s1196,s1423,...] [-overheads 0.5,1,2]
 //	      [-tables 1,2,...] [-cycles N] [-format text|md|csv] [-quiet]
 //	      [-method auto|simplex|ssp] [-timeout 10m]
+//	      [-j N] [-cache-dir DIR]
 //	      [-trace] [-trace-json] [-trace-chrome out.json] [-metrics]
+//
+// -j runs up to N benchmarks concurrently through the retiming job
+// engine (results are identical at any N); -cache-dir adds an on-disk
+// result cache so re-runs skip already-solved (circuit, options) pairs.
 //
 // The trace flags observe the whole sweep: -trace prints the span tree
 // (one experiments.circuit span per benchmark, retiming stages below it)
@@ -46,6 +51,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md or csv")
 	method := flag.String("method", "auto", "flow solver: auto (simplex with certified ssp fallback), simplex or ssp")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	jobs := flag.Int("j", 1, "run up to N benchmarks concurrently (results are identical at any N)")
+	cacheDir := flag.String("cache-dir", "", "persist retiming results to this directory and reuse them on later runs")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	trace := flag.Bool("trace", false, "print the sweep's span tree (per-benchmark stages, solver counters) to stderr")
 	traceJSON := flag.Bool("trace-json", false, "print the span tree as JSON to stderr")
@@ -53,7 +60,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics for the sweep to stderr")
 	flag.Parse()
 
-	cfg := experiments.Config{SimCycles: *cycles}
+	cfg := experiments.Config{SimCycles: *cycles, Parallelism: *jobs, CacheDir: *cacheDir}
 	if *benchmarks != "" {
 		cfg.Profiles = strings.Split(*benchmarks, ",")
 	}

@@ -47,6 +47,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"relatch/internal/bench"
 	"relatch/internal/cell"
@@ -95,6 +96,10 @@ func main() {
 	traceChrome := flag.String("trace-chrome", "", "write the trace in Chrome trace-event format to this file (load via chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print Prometheus-style metrics for the run to stderr")
 	benchJSON := flag.Bool("bench-json", false, "benchmark mode: run -bench (comma-separated list) × -approach (comma-separated list) and print one JSON record per row to stdout")
+	jobs := flag.Int("j", 1, "parallel retiming jobs for -bench-json and -serve (0 = all cores); results are identical at any setting")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (validated on load; empty = in-memory only)")
+	serveAddr := flag.String("serve", "", "serve the retiming job API over HTTP on this address (e.g. :8080) instead of running locally")
+	serveTimeout := flag.Duration("serve-timeout", 2*time.Minute, "per-request HTTP timeout in -serve mode (jobs keep running; 0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -106,37 +111,47 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if *timeout > 0 {
+	// In serve mode the process runs until SIGINT; -timeout becomes the
+	// per-job solve deadline instead of a whole-process one.
+	if *timeout > 0 && *serveAddr == "" {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 
 	o := options{
-		benchName:   *benchName,
-		verilogPath: *verilogPath,
-		approach:    *approach,
-		overhead:    *overhead,
-		method:      *method,
-		gateModel:   *gateModel,
-		dump:        *dump,
-		instrument:  *instrument,
-		clusterSize: *clusterSize,
-		lint:        *lintOnly || *lintJSON,
-		lintJSON:    *lintJSON,
-		lintDisable: *lintDisable,
-		certify:     *certify || *certifyJSON,
-		certifyJSON: *certifyJSON,
-		trace:       *trace,
-		traceJSON:   *traceJSON,
-		traceChrome: *traceChrome,
-		metrics:     *metrics,
+		benchName:    *benchName,
+		verilogPath:  *verilogPath,
+		approach:     *approach,
+		overhead:     *overhead,
+		method:       *method,
+		gateModel:    *gateModel,
+		dump:         *dump,
+		instrument:   *instrument,
+		clusterSize:  *clusterSize,
+		lint:         *lintOnly || *lintJSON,
+		lintJSON:     *lintJSON,
+		lintDisable:  *lintDisable,
+		certify:      *certify || *certifyJSON,
+		certifyJSON:  *certifyJSON,
+		trace:        *trace,
+		traceJSON:    *traceJSON,
+		traceChrome:  *traceChrome,
+		metrics:      *metrics,
+		jobs:         *jobs,
+		cacheDir:     *cacheDir,
+		serveAddr:    *serveAddr,
+		serveTimeout: *serveTimeout,
+		timeout:      *timeout,
 	}
 
 	var err error
-	if *benchJSON {
+	switch {
+	case *serveAddr != "":
+		err = runServe(ctx, o)
+	case *benchJSON:
 		err = runBenchJSON(ctx, o)
-	} else {
+	default:
 		var tr *obs.Tracer
 		if o.traced() {
 			tr = obs.New("rar")
@@ -186,6 +201,11 @@ type options struct {
 	traceJSON              bool
 	traceChrome            string
 	metrics                bool
+	jobs                   int
+	cacheDir               string
+	serveAddr              string
+	serveTimeout           time.Duration
+	timeout                time.Duration
 }
 
 // traced reports whether any trace/metrics export was requested.

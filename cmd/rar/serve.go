@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"os"
+
+	"relatch/internal/engine"
+	"relatch/internal/obs"
+)
+
+// runServe is the -serve mode: an engine fronted by the HTTP job API.
+// POST /jobs submits a benchmark or inline Verilog netlist, GET
+// /jobs/{id} polls status and result, GET /jobs lists every submission,
+// GET /metrics serves the obs counters. SIGINT drains the listener
+// gracefully, then the deferred engine close cancels whatever is still
+// solving; a clean shutdown exits 0.
+func runServe(ctx context.Context, o options) error {
+	cache, err := engine.NewCache(0, o.cacheDir)
+	if err != nil {
+		return err
+	}
+	tr := obs.New("serve")
+	defer tr.Finish()
+	eng := engine.New(engine.Config{
+		Workers:    o.jobs,
+		Cache:      cache,
+		JobTimeout: o.timeout,
+	})
+	defer eng.Close()
+	srv, err := engine.NewServer(engine.ServerConfig{
+		Engine:         eng,
+		Tracer:         tr,
+		Logger:         obs.NewLogger(os.Stderr, slog.LevelInfo),
+		RequestTimeout: o.serveTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx, o.serveAddr)
+}

@@ -95,6 +95,11 @@ type Result struct {
 	Objective float64
 	// Classes counts endpoints per rgraph classification.
 	Classes map[rgraph.TargetClass]int
+	// Reclaimed maps target output IDs the solver claimed the −c reward
+	// for (rgraph.Solution.PseudoFired). The certifier's reclaim audit
+	// re-derives its judgement from this claim set, so results restored
+	// from a cache can be re-certified with the same inputs.
+	Reclaimed map[int]bool
 	// Violations lists any residual latch timing violations under the
 	// evaluation model (empty when the optimization model is at least
 	// as pessimistic as the evaluation model).
@@ -240,6 +245,7 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	}
 	res := evaluate(ctx, c, opt, approach, sol.Placement, latch)
 	res.Trace = obs.FromContext(ctx).Report()
+	res.Reclaimed = sol.PseudoFired
 	res.Objective = sol.Objective
 	res.Solver = sol.Method
 	res.SolverFallback = sol.Fallback
@@ -319,13 +325,38 @@ func evaluate(ctx context.Context, c *netlist.Circuit, opt Options, approach App
 // Evaluate scores an externally produced placement (used by the virtual
 // library flows and by tests) with the same accounting as Retime.
 func Evaluate(c *netlist.Circuit, opt Options, p *netlist.Placement) (*Result, error) {
+	return EvaluateCtx(context.Background(), c, opt, Approach(-1), p)
+}
+
+// EvaluateCtx validates and scores an externally produced placement under
+// an explicit approach tag. It is the restore path of the content-
+// addressed result cache: a cached placement is re-settled against
+// ground-truth timing from scratch, so a poisoned cache entry can never
+// smuggle in wrong ED assignments or areas.
+func EvaluateCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Approach, p *netlist.Placement) (*Result, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil circuit")
+	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(c); err != nil {
 		return nil, fmt.Errorf("core: placement: %w", err)
 	}
-	return evaluate(context.Background(), c, opt, Approach(-1), p, slaveLatch(c, opt)), nil
+	return evaluate(ctx, c, opt, approach, p, slaveLatch(c, opt)), nil
+}
+
+// EvalOptions exposes the evaluation (sign-off) timing derivation, so the
+// engine's cache layer can re-certify restored results under exactly the
+// timing context the live pipeline used.
+func EvalOptions(c *netlist.Circuit, opt Options) sta.Options {
+	return evalOptions(c, opt)
+}
+
+// SlaveLatch exposes the slave latch cell the pipeline times Eq. (5)
+// with, for the same reason as EvalOptions.
+func SlaveLatch(c *netlist.Circuit, opt Options) cell.Latch {
+	return slaveLatch(c, opt)
 }
 
 // SeqAreaOf recomputes the sequential-area formula for explicit counts;

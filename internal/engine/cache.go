@@ -1,0 +1,580 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"relatch/internal/cell"
+	"relatch/internal/cert"
+	"relatch/internal/core"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/obs"
+	"relatch/internal/rgraph"
+	"relatch/internal/vlib"
+)
+
+// entrySchemaVersion is bumped whenever the on-disk entry layout changes;
+// entries with another version are treated as misses, not errors.
+const entrySchemaVersion = 1
+
+// defaultCapacity is the in-memory LRU size when the caller passes ≤ 0.
+const defaultCapacity = 256
+
+// claimEpsilon tolerates float formatting noise when comparing cached
+// area claims against re-derived values.
+const claimEpsilon = 1e-9
+
+// CacheStats counts cache traffic. Hits are in-memory; DiskHits are
+// restores from the on-disk layer (which also populate memory). Poisoned
+// counts entries that failed validation and were discarded.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"disk_hits"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Poisoned  int64 `json:"poisoned"`
+}
+
+// entry is the serializable claim set of a completed job — positions and
+// classifications, never derived numbers the restore path can recompute
+// and cross-check. A tampered entry therefore cannot smuggle in a wrong
+// result: the restore re-evaluates the placement against ground-truth
+// timing and re-certifies before anything is served.
+type entry struct {
+	SchemaVersion int    `json:"schema_version"`
+	Key           string `json:"key"`
+	Approach      string `json:"approach"`
+	Circuit       string `json:"circuit"`
+
+	AtInput []int    `json:"at_input"`
+	OnEdge  [][2]int `json:"on_edge"`
+
+	EDMasters []int `json:"ed_masters"`
+	Reclaimed []int `json:"reclaimed,omitempty"`
+	// Resized lists gate cells the virtual-library incremental compile
+	// strengthened, as (node ID, cell name) pairs applied on restore.
+	Resized []resize `json:"resized,omitempty"`
+
+	Slaves  int     `json:"slaves"`
+	Masters int     `json:"masters"`
+	ED      int     `json:"ed"`
+	SeqArea float64 `json:"seq_area"`
+
+	Objective       float64        `json:"objective,omitempty"`
+	Solver          string         `json:"solver,omitempty"`
+	Fallback        bool           `json:"fallback,omitempty"`
+	FallbackReason  string         `json:"fallback_reason,omitempty"`
+	SolverCertified bool           `json:"solver_certified,omitempty"`
+	Classes         map[string]int `json:"classes,omitempty"`
+
+	Relaxed int `json:"relaxed,omitempty"`
+	Swaps   int `json:"swaps,omitempty"`
+	Upsized int `json:"upsized,omitempty"`
+}
+
+type resize struct {
+	ID   int    `json:"id"`
+	Cell string `json:"cell"`
+}
+
+// Cache is the content-addressed result cache: an in-memory LRU over
+// live outcomes, with an optional on-disk layer of JSON claim blobs.
+// Disk entries are restored onto a fresh clone of the submitted circuit,
+// re-evaluated and re-certified before being served — a poisoned file is
+// detected, counted, deleted and recomputed, never trusted.
+type Cache struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; values are *lruItem
+	items map[Key]*list.Element
+	stats CacheStats
+}
+
+type lruItem struct {
+	key Key
+	out *Outcome
+}
+
+// NewCache builds a cache with the given in-memory capacity (≤ 0 means
+// the default) and optional disk directory ("" disables the disk layer).
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		dir:   dir,
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}, nil
+}
+
+// Dir returns the disk layer directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// EntryPath returns the disk file a key maps to ("" when memory-only).
+// Exported for the fault-injection harness, which corrupts entries in
+// place to prove poisoned blobs are recomputed rather than served.
+func (c *Cache) EntryPath(key Key) string {
+	if c.dir == "" {
+		return ""
+	}
+	return filepath.Join(c.dir, key.String()+".json")
+}
+
+// Get serves a cached outcome for the key, trying memory then disk.
+// The boolean reports whether a validated outcome was produced; every
+// failure mode (absent, stale schema, poisoned) degrades to a miss.
+func (c *Cache) Get(ctx context.Context, key Key, job Job) (*Outcome, bool) {
+	sp, ctx := obsCacheSpan(ctx, key)
+	defer sp.End()
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		out := el.Value.(*lruItem).out
+		c.stats.Hits++
+		c.mu.Unlock()
+		sp.Add("hit", 1)
+		hit := *out
+		hit.CacheHit = true
+		hit.CacheLayer = "memory"
+		return &hit, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		c.miss(sp)
+		return nil, false
+	}
+	out, err := c.Probe(ctx, key, job)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// A present-but-invalid entry is poisoned: drop the file so
+			// the recomputed result can take its place.
+			c.mu.Lock()
+			c.stats.Poisoned++
+			c.mu.Unlock()
+			sp.Add("poisoned", 1)
+			os.Remove(c.EntryPath(key))
+		}
+		c.miss(sp)
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.insertLocked(key, out)
+	c.mu.Unlock()
+	sp.Add("disk_hit", 1)
+	hit := *out
+	hit.CacheHit = true
+	hit.CacheLayer = "disk"
+	return &hit, true
+}
+
+func (c *Cache) miss(sp *obs.Span) {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	sp.Add("miss", 1)
+}
+
+// obsCacheSpan opens the engine.cache span all cache traffic reports on.
+func obsCacheSpan(ctx context.Context, key Key) (*obs.Span, context.Context) {
+	sp, ctx := obs.StartSpan(ctx, "engine.cache")
+	sp.Attr("key", key.Short())
+	return sp, ctx
+}
+
+// Probe reads, restores and validates the disk entry for a key without
+// touching the memory layer or the miss/poison accounting. It returns
+// the validation failure verbatim, which is what the fault harness (and
+// any operator debugging a cache dir) wants to see.
+func (c *Cache) Probe(ctx context.Context, key Key, job Job) (*Outcome, error) {
+	if c.dir == "" {
+		return nil, fmt.Errorf("engine: cache has no disk layer: %w", os.ErrNotExist)
+	}
+	raw, err := os.ReadFile(c.EntryPath(key))
+	if err != nil {
+		return nil, err
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("engine: cache entry %s: %w", key.Short(), err)
+	}
+	if e.SchemaVersion != entrySchemaVersion {
+		return nil, fmt.Errorf("engine: cache entry %s: schema %d, want %d",
+			key.Short(), e.SchemaVersion, entrySchemaVersion)
+	}
+	if e.Key != key.String() {
+		return nil, fmt.Errorf("engine: cache entry %s: claims key %s", key.Short(), e.Key)
+	}
+	if e.Approach != string(job.Approach) {
+		return nil, fmt.Errorf("engine: cache entry %s: approach %q, want %q",
+			key.Short(), e.Approach, job.Approach)
+	}
+	return c.restore(ctx, key, job, &e)
+}
+
+// Put stores a freshly computed outcome in both layers. Outcomes that
+// were themselves cache hits are not re-stored.
+func (c *Cache) Put(ctx context.Context, key Key, job Job, out *Outcome) {
+	if out == nil || out.CacheHit {
+		return
+	}
+	sp, _ := obsCacheSpan(ctx, key)
+	defer sp.End()
+
+	c.mu.Lock()
+	c.stats.Stores++
+	evicted := c.insertLocked(key, out)
+	c.mu.Unlock()
+	sp.Add("stored", 1)
+	if evicted > 0 {
+		sp.Add("evicted", int64(evicted))
+	}
+
+	if c.dir == "" {
+		return
+	}
+	e, err := encodeEntry(key, job, out)
+	if err != nil {
+		return // unencodable outcomes simply stay memory-only
+	}
+	raw, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return
+	}
+	// Atomic publish: a crashed writer must never leave a torn entry
+	// that a later Get would flag as poisoned.
+	tmp := c.EntryPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, c.EntryPath(key))
+}
+
+// insertLocked adds an outcome to the LRU (c.mu held) and returns how
+// many entries were evicted to make room.
+func (c *Cache) insertLocked(key Key, out *Outcome) int {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).out = out
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, out: out})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruItem).key)
+		c.stats.Evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// encodeEntry reduces an outcome to its serializable claims.
+func encodeEntry(key Key, job Job, out *Outcome) (*entry, error) {
+	e := &entry{
+		SchemaVersion: entrySchemaVersion,
+		Key:           key.String(),
+		Approach:      string(job.Approach),
+		Circuit:       job.Circuit.Name,
+	}
+	switch {
+	case out.Core != nil:
+		r := out.Core
+		e.AtInput, e.OnEdge = encodePlacement(r.Placement)
+		e.EDMasters = sortedTrueKeys(r.EDMasters)
+		e.Reclaimed = sortedTrueKeys(r.Reclaimed)
+		e.Slaves, e.Masters, e.ED = r.SlaveCount, r.MasterCount, r.EDCount
+		e.SeqArea = r.SeqArea
+		e.Objective = r.Objective
+		e.Solver = r.Solver.String()
+		e.Fallback = r.SolverFallback
+		e.FallbackReason = r.FallbackReason
+		e.SolverCertified = r.SolverCertified
+		if len(r.Classes) > 0 {
+			e.Classes = make(map[string]int, len(r.Classes))
+			for k, v := range r.Classes {
+				e.Classes[strconv.Itoa(int(k))] = v
+			}
+		}
+	case out.VLib != nil:
+		r := out.VLib
+		e.AtInput, e.OnEdge = encodePlacement(r.Placement)
+		e.EDMasters = sortedTrueKeys(r.EDMasters)
+		e.Slaves, e.Masters, e.ED = r.SlaveCount, r.MasterCount, r.EDCount
+		e.SeqArea = r.SeqArea
+		e.Relaxed, e.Swaps, e.Upsized = r.Relaxed, r.Swaps, r.Upsized
+		for _, n := range r.Circuit.Nodes {
+			orig := job.Circuit.Nodes[n.ID]
+			if n.Cell != nil && orig.Cell != nil && n.Cell.Name != orig.Cell.Name {
+				e.Resized = append(e.Resized, resize{ID: n.ID, Cell: n.Cell.Name})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: outcome for %s has no result", key.Short())
+	}
+	return e, nil
+}
+
+// restore rebuilds a live outcome from an entry's claims on a fresh
+// clone, re-derives everything derivable and certifies the result.
+func (c *Cache) restore(ctx context.Context, key Key, job Job, e *entry) (*Outcome, error) {
+	start := time.Now()
+	p, err := decodePlacement(job.Circuit, e)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Key: key, Approach: job.Approach}
+	if job.Approach.IsVLib() {
+		if err := c.restoreVLib(ctx, job, e, p, out); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.restoreCore(ctx, job, e, p, out); err != nil {
+			return nil, err
+		}
+	}
+	if ferr := out.Certificate.Err(); ferr != nil {
+		return nil, fmt.Errorf("engine: cache entry %s: %w", key.Short(), ferr)
+	}
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// restoreCore re-evaluates a cached core placement from scratch and
+// cross-checks the entry's claims against the re-derived result.
+func (c *Cache) restoreCore(ctx context.Context, job Job, e *entry, p *netlist.Placement, out *Outcome) error {
+	clone := job.Circuit.Clone()
+	res, err := core.EvaluateCtx(ctx, clone, job.Options, job.Approach.CoreApproach(), p)
+	if err != nil {
+		return fmt.Errorf("engine: cache entry %s: %w", out.Key.Short(), err)
+	}
+	if res.SlaveCount != e.Slaves || res.MasterCount != e.Masters || res.EDCount != e.ED {
+		return fmt.Errorf("engine: cache entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
+			out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
+	}
+	if math.Abs(res.SeqArea-e.SeqArea) > claimEpsilon {
+		return fmt.Errorf("engine: cache entry %s: claims seq area %g, re-derived %g",
+			out.Key.Short(), e.SeqArea, res.SeqArea)
+	}
+	if !sameIDSet(res.EDMasters, e.EDMasters) {
+		return fmt.Errorf("engine: cache entry %s: ED-master claim diverges from re-derived set",
+			out.Key.Short())
+	}
+	res.Reclaimed = idSet(e.Reclaimed)
+	res.Objective = e.Objective
+	if m, merr := flow.ParseMethod(e.Solver); merr == nil {
+		res.Solver = m
+	}
+	res.SolverFallback = e.Fallback
+	res.FallbackReason = e.FallbackReason
+	res.SolverCertified = e.SolverCertified
+	if len(e.Classes) > 0 {
+		res.Classes = make(map[rgraph.TargetClass]int, len(e.Classes))
+		for k, v := range e.Classes {
+			n, perr := strconv.Atoi(k)
+			if perr != nil {
+				return fmt.Errorf("engine: cache entry %s: bad class %q", out.Key.Short(), k)
+			}
+			res.Classes[rgraph.TargetClass(n)] = v
+		}
+	}
+	evalOpt := core.EvalOptions(clone, job.Options)
+	crt, err := cert.Run(ctx, cert.Subject{
+		Original:    cert.Snapshot(job.Circuit),
+		Retimed:     clone,
+		Placement:   p,
+		Scheme:      job.Options.Scheme,
+		Latch:       core.SlaveLatch(clone, job.Options),
+		StaOptions:  &evalOpt,
+		EDMasters:   res.EDMasters,
+		Reclaimed:   res.Reclaimed,
+		SlaveCount:  res.SlaveCount,
+		MasterCount: res.MasterCount,
+		EDCount:     res.EDCount,
+		SeqArea:     res.SeqArea,
+		EDLCost:     job.Options.EDLCost,
+		Objective:   res.Objective,
+		Approach:    job.Approach.Display(),
+	}, cert.Config{})
+	if err != nil {
+		return fmt.Errorf("engine: cache entry %s: %w", out.Key.Short(), err)
+	}
+	res.Certificate = crt
+	out.Core, out.Certificate = res, crt
+	return nil
+}
+
+// restoreVLib replays a cached virtual-library result: clone, re-apply
+// the recorded resizes, re-validate the placement, recount areas and
+// certify against the original shape.
+func (c *Cache) restoreVLib(ctx context.Context, job Job, e *entry, p *netlist.Placement, out *Outcome) error {
+	clone := job.Circuit.Clone()
+	lib := clone.Lib
+	for _, rs := range e.Resized {
+		if rs.ID < 0 || rs.ID >= len(clone.Nodes) {
+			return fmt.Errorf("engine: cache entry %s: resize of unknown node %d", out.Key.Short(), rs.ID)
+		}
+		n := clone.Nodes[rs.ID]
+		cl, ok := lib.ByName(rs.Cell)
+		if !ok {
+			return fmt.Errorf("engine: cache entry %s: resize to unknown cell %q", out.Key.Short(), rs.Cell)
+		}
+		if n.Cell == nil {
+			return fmt.Errorf("engine: cache entry %s: resize of non-gate node %d", out.Key.Short(), rs.ID)
+		}
+		n.Cell = cl
+	}
+	if err := p.Validate(clone); err != nil {
+		return fmt.Errorf("engine: cache entry %s: %w", out.Key.Short(), err)
+	}
+	ed := idSet(e.EDMasters)
+	res := &vlib.Result{
+		Variant:     job.Approach.Variant(),
+		Circuit:     clone,
+		Placement:   p,
+		EDMasters:   ed,
+		SlaveCount:  p.SlaveCount(),
+		MasterCount: clone.FlopCount(),
+		EDCount:     len(ed),
+		Relaxed:     e.Relaxed,
+		Swaps:       e.Swaps,
+		Upsized:     e.Upsized,
+	}
+	if res.SlaveCount != e.Slaves || res.MasterCount != e.Masters || res.EDCount != e.ED {
+		return fmt.Errorf("engine: cache entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
+			out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
+	}
+	res.SeqArea = cell.SeqAreaOf(lib, job.Options.EDLCost, res.SlaveCount, res.MasterCount, res.EDCount)
+	if math.Abs(res.SeqArea-e.SeqArea) > claimEpsilon {
+		return fmt.Errorf("engine: cache entry %s: claims seq area %g, re-derived %g",
+			out.Key.Short(), e.SeqArea, res.SeqArea)
+	}
+	res.CombArea = clone.CombArea()
+	res.TotalArea = res.SeqArea + res.CombArea
+	crt, err := cert.Run(ctx, cert.Subject{
+		Original:    cert.Snapshot(job.Circuit),
+		Retimed:     clone,
+		Placement:   p,
+		Scheme:      job.Options.Scheme,
+		Latch:       lib.BaseLatch,
+		EDMasters:   res.EDMasters,
+		SlaveCount:  res.SlaveCount,
+		MasterCount: res.MasterCount,
+		EDCount:     res.EDCount,
+		SeqArea:     res.SeqArea,
+		EDLCost:     job.Options.EDLCost,
+		Approach:    job.Approach.Display(),
+	}, cert.Config{AllowResizing: true, EDSuperset: !job.PostSwap})
+	if err != nil {
+		return fmt.Errorf("engine: cache entry %s: %w", out.Key.Short(), err)
+	}
+	out.VLib, out.Certificate = res, crt
+	return nil
+}
+
+// encodePlacement flattens a placement into sorted ID/edge lists.
+func encodePlacement(p *netlist.Placement) (atInput []int, onEdge [][2]int) {
+	atInput = sortedTrueKeys(p.AtInput)
+	for e, on := range p.OnEdge {
+		if on {
+			onEdge = append(onEdge, [2]int{e.From, e.To})
+		}
+	}
+	sort.Slice(onEdge, func(i, j int) bool {
+		if onEdge[i][0] != onEdge[j][0] {
+			return onEdge[i][0] < onEdge[j][0]
+		}
+		return onEdge[i][1] < onEdge[j][1]
+	})
+	return atInput, onEdge
+}
+
+// decodePlacement rebuilds a placement, bounds-checking IDs against the
+// submitted circuit so a corrupt entry fails loudly instead of panicking
+// downstream.
+func decodePlacement(c *netlist.Circuit, e *entry) (*netlist.Placement, error) {
+	p := netlist.NewPlacement()
+	for _, id := range e.AtInput {
+		if id < 0 || id >= len(c.Nodes) {
+			return nil, fmt.Errorf("engine: cache entry: latch at unknown input %d", id)
+		}
+		p.AtInput[id] = true
+	}
+	for _, fe := range e.OnEdge {
+		if fe[0] < 0 || fe[0] >= len(c.Nodes) || fe[1] < 0 || fe[1] >= len(c.Nodes) {
+			return nil, fmt.Errorf("engine: cache entry: latch on unknown edge %d->%d", fe[0], fe[1])
+		}
+		p.OnEdge[netlist.Edge{From: fe[0], To: fe[1]}] = true
+	}
+	return p, nil
+}
+
+// sortedTrueKeys lists the true keys of a set map, sorted.
+func sortedTrueKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// idSet inverts sortedTrueKeys.
+func idSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// sameIDSet compares a set map against a sorted ID list.
+func sameIDSet(m map[int]bool, ids []int) bool {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	if n != len(ids) {
+		return false
+	}
+	for _, id := range ids {
+		if !m[id] {
+			return false
+		}
+	}
+	return true
+}

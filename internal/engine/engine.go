@@ -1,0 +1,518 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"relatch/internal/cert"
+	"relatch/internal/core"
+	"relatch/internal/obs"
+	"relatch/internal/vlib"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers bounds the number of concurrently running solves
+	// (≤ 0 means GOMAXPROCS). Queued jobs beyond the bound wait for a
+	// slot; deduplicated followers never consume one.
+	Workers int
+	// Cache, when non-nil, serves repeated keys without re-solving and
+	// stores every computed outcome.
+	Cache *Cache
+	// JobTimeout bounds each solve that does not carry its own
+	// Job.Timeout (0 = unbounded).
+	JobTimeout time.Duration
+	// SolveOverride replaces the real solve when non-nil. It exists for
+	// tests and the fault-injection harness — the production solvers are
+	// hardened enough that worker crashes and stalls cannot be provoked
+	// from outside otherwise.
+	SolveOverride func(ctx context.Context, job Job) (*Outcome, error)
+}
+
+// Outcome is a completed job: exactly one of Core/VLib is set, according
+// to the job's approach.
+type Outcome struct {
+	Key      Key
+	Approach Approach
+
+	Core *core.Result
+	VLib *vlib.Result
+
+	// Certificate is the independent output certification. Core results
+	// carry the one attached by core.RetimeCtx's post-solve gate; for
+	// virtual-library results the engine runs the same check itself, so
+	// every outcome — solved, restored or shared — is certified.
+	Certificate *cert.Certificate
+
+	// CacheHit reports the outcome was restored rather than solved;
+	// CacheLayer says from where ("memory" or "disk"). Shared marks a
+	// deduplicated follower that rode on another submission's solve.
+	CacheHit   bool
+	CacheLayer string
+	Shared     bool
+
+	// Runtime is the wall time of the solve (or of the validated
+	// restore, for cache hits).
+	Runtime time.Duration
+}
+
+// Summary flattens an outcome into the row every frontend reports.
+type Summary struct {
+	Approach   string  `json:"approach"`
+	Circuit    string  `json:"circuit"`
+	Slaves     int     `json:"slaves"`
+	Masters    int     `json:"masters"`
+	ED         int     `json:"ed"`
+	SeqArea    float64 `json:"seq_area"`
+	TotalArea  float64 `json:"total_area"`
+	Solver     string  `json:"solver,omitempty"`
+	Fallback   bool    `json:"fallback,omitempty"`
+	Certified  bool    `json:"certified"`
+	Violations int     `json:"violations,omitempty"`
+	CacheHit   bool    `json:"cache_hit,omitempty"`
+	CacheLayer string  `json:"cache_layer,omitempty"`
+}
+
+// Summary returns the flattened report row for the outcome.
+func (o *Outcome) Summary() Summary {
+	s := Summary{
+		Approach:   o.Approach.Display(),
+		Certified:  o.Certificate != nil && o.Certificate.Certified(),
+		CacheHit:   o.CacheHit,
+		CacheLayer: o.CacheLayer,
+	}
+	switch {
+	case o.Core != nil:
+		s.Circuit = o.Core.Circuit.Name
+		s.Slaves = o.Core.SlaveCount
+		s.Masters = o.Core.MasterCount
+		s.ED = o.Core.EDCount
+		s.SeqArea = o.Core.SeqArea
+		s.TotalArea = o.Core.TotalArea
+		s.Solver = o.Core.Solver.String()
+		s.Fallback = o.Core.SolverFallback
+		s.Violations = len(o.Core.Violations)
+	case o.VLib != nil:
+		s.Circuit = o.VLib.Circuit.Name
+		s.Slaves = o.VLib.SlaveCount
+		s.Masters = o.VLib.MasterCount
+		s.ED = o.VLib.EDCount
+		s.SeqArea = o.VLib.SeqArea
+		s.TotalArea = o.VLib.TotalArea
+	}
+	return s
+}
+
+// State is a ticket's position in its lifecycle.
+type State int
+
+// Ticket states, in lifecycle order.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Ticket tracks one submission from Submit to completion.
+type Ticket struct {
+	ID  string
+	Key Key
+
+	mu        sync.Mutex
+	state     State
+	outcome   *Outcome
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// Status returns the ticket's current state and lifecycle timestamps.
+func (t *Ticket) Status() (state State, submitted, started, finished time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state, t.submitted, t.started, t.finished
+}
+
+// Err returns the job error once the ticket has failed, nil otherwise.
+func (t *Ticket) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Outcome returns the completed outcome, nil until the ticket is done.
+func (t *Ticket) Outcome() *Outcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcome
+}
+
+// Wait blocks until the job completes or ctx is cancelled. The returned
+// error wraps ctx.Err() when the wait — not the job — was cut short.
+func (t *Ticket) Wait(ctx context.Context) (*Outcome, error) {
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("engine: waiting for %s: %w", t.ID, ctx.Err())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcome, t.err
+}
+
+func (t *Ticket) setRunning() {
+	t.mu.Lock()
+	if t.state == StateQueued {
+		t.state = StateRunning
+		t.started = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+func (t *Ticket) finish(out *Outcome, err error) {
+	t.mu.Lock()
+	t.outcome, t.err = out, err
+	t.finished = time.Now()
+	if err != nil {
+		t.state = StateFailed
+	} else {
+		t.state = StateDone
+	}
+	t.mu.Unlock()
+	close(t.done)
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	Submitted    int64      `json:"submitted"`
+	Completed    int64      `json:"completed"`
+	Failed       int64      `json:"failed"`
+	Deduplicated int64      `json:"deduplicated"`
+	Cache        CacheStats `json:"cache"`
+}
+
+// call is the singleflight record for one in-flight key.
+type call struct {
+	done    chan struct{}
+	outcome *Outcome
+	err     error
+}
+
+// Engine runs retiming jobs on a bounded worker pool with singleflight
+// deduplication and result caching. Close cancels everything in flight.
+type Engine struct {
+	cfg     Config
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[Key]*call
+	tickets  map[string]*Ticket
+	order    []string
+	nextID   int
+	stats    Stats
+	closed   bool
+}
+
+// New builds an engine. The caller owns its lifecycle and must Close it.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: make(map[Key]*call),
+		tickets:  make(map[string]*Ticket),
+	}
+}
+
+// Cache returns the engine's cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache { return e.cfg.Cache }
+
+// Close cancels every queued and in-flight job and waits for the
+// workers to drain. Submissions after Close fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := e.stats
+	e.mu.Unlock()
+	if e.cfg.Cache != nil {
+		s.Cache = e.cfg.Cache.Stats()
+	}
+	return s
+}
+
+// Get looks a ticket up by ID.
+func (e *Engine) Get(id string) (*Ticket, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tickets[id]
+	return t, ok
+}
+
+// Tickets lists every ticket in submission order.
+func (e *Engine) Tickets() []*Ticket {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Ticket, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.tickets[id])
+	}
+	return out
+}
+
+// Submit schedules a job and returns its ticket immediately. The job
+// runs under a context derived from ctx (so tracers and values flow in,
+// and cancelling ctx cancels the job) that is also cut when the engine
+// closes or the job's timeout expires.
+func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	key, err := job.Key()
+	if err != nil {
+		return nil, err
+	}
+	sp, ctx := obs.StartSpan(ctx, "engine.submit")
+	defer sp.End()
+	sp.Attr("key", key.Short())
+	sp.Attr("approach", string(job.Approach))
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: closed")
+	}
+	e.nextID++
+	t := &Ticket{
+		ID:        fmt.Sprintf("job-%06d", e.nextID),
+		Key:       key,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	e.tickets[t.ID] = t
+	e.order = append(e.order, t.ID)
+	e.stats.Submitted++
+	e.wg.Add(1)
+	e.mu.Unlock()
+
+	sp.Attr("id", t.ID)
+	sp.Add("submitted", 1)
+
+	go e.run(ctx, t, job, key)
+	return t, nil
+}
+
+// Do is Submit followed by Wait.
+func (e *Engine) Do(ctx context.Context, job Job) (*Outcome, error) {
+	t, err := e.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait(ctx)
+}
+
+// run executes one submission end to end and settles its ticket.
+func (e *Engine) run(ctx context.Context, t *Ticket, job Job, key Key) {
+	defer e.wg.Done()
+
+	// The job context inherits the submission context (values — tracer,
+	// logger — and cancellation) and is additionally cut when the
+	// engine closes.
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+	stopWatch := context.AfterFunc(e.baseCtx, cancelJob)
+	defer stopWatch()
+
+	sp, jobCtx := obs.StartSpan(jobCtx, "engine.job")
+	sp.Attr("id", t.ID)
+	sp.Attr("key", key.Short())
+	sp.Attr("approach", string(job.Approach))
+
+	out, err := e.execute(jobCtx, sp, t, job, key)
+	sp.Fail(err)
+	sp.End()
+
+	e.mu.Lock()
+	if err != nil {
+		e.stats.Failed++
+	} else {
+		e.stats.Completed++
+	}
+	e.mu.Unlock()
+	t.finish(out, err)
+}
+
+// execute resolves one submission: join an in-flight computation of the
+// same key as a follower, or lead one (cache lookup, bounded solve,
+// cache store).
+func (e *Engine) execute(ctx context.Context, sp *obs.Span, t *Ticket, job Job, key Key) (*Outcome, error) {
+	e.mu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.stats.Deduplicated++
+		e.mu.Unlock()
+		sp.Add("deduplicated", 1)
+		t.setRunning()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("engine: %s: %w", t.ID, ctx.Err())
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		shared := *c.outcome
+		shared.Shared = true
+		return &shared, nil
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	out, err := e.lead(ctx, t, job, key)
+	c.outcome, c.err = out, err
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	return out, err
+}
+
+// lead computes the outcome for a key: waits for a worker slot, tries
+// the cache, solves with a panic guard under the job deadline, and
+// stores the fresh result.
+func (e *Engine) lead(ctx context.Context, t *Ticket, job Job, key Key) (*Outcome, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("engine: %s queued: %w", t.ID, ctx.Err())
+	}
+	defer func() { <-e.sem }()
+	t.setRunning()
+
+	if e.cfg.Cache != nil {
+		if out, ok := e.cfg.Cache.Get(ctx, key, job); ok {
+			return out, nil
+		}
+	}
+
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.JobTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	out, err := e.solve(ctx, job, key)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Cache != nil {
+		e.cfg.Cache.Put(ctx, key, job, out)
+	}
+	return out, nil
+}
+
+// solve runs the actual retiming flow for the job's approach. Panics in
+// the solver stack surface as per-job errors, never as process crashes.
+func (e *Engine) solve(ctx context.Context, job Job, key Key) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("engine: job %s panicked: %v", key.Short(), r)
+		}
+	}()
+	start := time.Now()
+	if e.cfg.SolveOverride != nil {
+		return e.cfg.SolveOverride(ctx, job)
+	}
+	out = &Outcome{Key: key, Approach: job.Approach}
+	if job.Approach.IsVLib() {
+		shape := cert.Snapshot(job.Circuit)
+		res, verr := vlib.RetimeCtx(ctx, job.Circuit, vlib.Options{
+			Scheme:        job.Options.Scheme,
+			EDLCost:       job.Options.EDLCost,
+			Method:        job.Options.Method,
+			PostSwap:      job.PostSwap,
+			MaxSizingIter: job.MaxSizingIter,
+		}, job.Approach.Variant())
+		if verr != nil {
+			return nil, verr
+		}
+		// The incremental compile resizes gates but never changes logic
+		// functions, hence AllowResizing; without the post-swap the flow
+		// may deliberately leave extra ED latches, hence EDSuperset.
+		crt, cerr := cert.Run(ctx, cert.Subject{
+			Original:    shape,
+			Retimed:     res.Circuit,
+			Placement:   res.Placement,
+			Scheme:      job.Options.Scheme,
+			Latch:       res.Circuit.Lib.BaseLatch,
+			EDMasters:   res.EDMasters,
+			SlaveCount:  res.SlaveCount,
+			MasterCount: res.MasterCount,
+			EDCount:     res.EDCount,
+			SeqArea:     res.SeqArea,
+			EDLCost:     job.Options.EDLCost,
+			Approach:    job.Approach.Display(),
+		}, cert.Config{AllowResizing: true, EDSuperset: !job.PostSwap})
+		if cerr != nil {
+			return nil, fmt.Errorf("engine: certifying %s: %w", key.Short(), cerr)
+		}
+		out.VLib, out.Certificate = res, crt
+		if ferr := crt.Err(); ferr != nil {
+			return nil, fmt.Errorf("engine: %s: %w", key.Short(), ferr)
+		}
+	} else {
+		res, rerr := core.RetimeCtx(ctx, job.Circuit.Clone(), job.Options, job.Approach.CoreApproach())
+		if rerr != nil {
+			// core's post-solve gate attaches the certificate even when
+			// it fails; the outcome is unusable either way.
+			return nil, rerr
+		}
+		out.Core, out.Certificate = res, res.Certificate
+	}
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// IsClosed reports whether err stems from the engine shutting down or a
+// context cut (as opposed to the solve itself failing).
+func IsClosed(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

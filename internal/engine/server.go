@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"relatch/internal/bench"
+	"relatch/internal/cell"
+	"relatch/internal/clocking"
+	"relatch/internal/flow"
+	"relatch/internal/netlist"
+	"relatch/internal/obs"
+	"relatch/internal/sta"
+	"relatch/internal/verilog"
+)
+
+// ServerConfig configures the HTTP frontend.
+type ServerConfig struct {
+	// Engine executes the submitted jobs. Required. The server does not
+	// own its lifecycle: the caller closes it after shutdown.
+	Engine *Engine
+	// Tracer, when non-nil, backs /metrics and is attached to every
+	// submitted job's context.
+	Tracer *obs.Tracer
+	// Logger receives request/submission logs (nil = discard).
+	Logger *slog.Logger
+	// RequestTimeout bounds each HTTP handler (0 = no limit). Jobs are
+	// asynchronous, so this only cuts slow clients, not running solves.
+	RequestTimeout time.Duration
+}
+
+// Server is the rar -serve HTTP frontend: POST /jobs submits a netlist
+// plus options, GET /jobs/{id} polls status and result, GET /metrics
+// serves the obs counters in Prometheus text format.
+type Server struct {
+	cfg ServerConfig
+	// jobCtx parents every submission, so jobs survive their submitting
+	// request and die with the engine, not with the connection.
+	jobCtx context.Context
+}
+
+// NewServer builds the HTTP frontend over an engine.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("engine: server needs an engine")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DiscardLogger()
+	}
+	return &Server{cfg: cfg, jobCtx: obs.WithTracer(context.Background(), cfg.Tracer)}, nil
+}
+
+// Handler returns the route table, wrapped in the request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if s.cfg.RequestTimeout <= 0 {
+		return mux
+	}
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully (in-flight requests get a drain window). A clean shutdown
+// returns nil, so a SIGINT-driven exit reports success.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("engine: serve: %w", err)
+	}
+	s.cfg.Logger.Info("serving", "addr", ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("engine: serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.cfg.Logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("engine: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("engine: serve: %w", err)
+	}
+	return nil
+}
+
+// jobRequest is the POST /jobs payload. Exactly one of Bench (an
+// ISCAS'89 profile name) or Verilog (inline structural source) selects
+// the circuit.
+type jobRequest struct {
+	Bench   string `json:"bench,omitempty"`
+	Verilog string `json:"verilog,omitempty"`
+
+	Approach string `json:"approach"`
+	// C is the error-detecting overhead factor (default 1.0).
+	C          *float64 `json:"c,omitempty"`
+	Method     string   `json:"method,omitempty"`
+	GateModel  bool     `json:"gate_model,omitempty"`
+	PivotLimit int      `json:"pivot_limit,omitempty"`
+	TimeoutMS  int      `json:"timeout_ms,omitempty"`
+}
+
+// jobStatus is the JSON shape of a submitted job, for POST and GET.
+type jobStatus struct {
+	ID        string   `json:"id"`
+	Key       string   `json:"key"`
+	Status    string   `json:"status"`
+	Error     string   `json:"error,omitempty"`
+	Result    *Summary `json:"result,omitempty"`
+	RuntimeMS float64  `json:"runtime_ms,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad request: %w", err))
+		return
+	}
+	job, err := s.buildJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.cfg.Engine.Submit(s.jobCtx, job)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cfg.Logger.Info("job submitted", "id", t.ID, "key", t.Key.Short(),
+		"approach", string(job.Approach), "circuit", job.Circuit.Name)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeStatus(w, t)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.cfg.Engine.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("engine: no job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeStatus(w, t)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	tickets := s.cfg.Engine.Tickets()
+	out := make([]jobStatus, 0, len(tickets))
+	for _, t := range tickets {
+		out = append(out, statusOf(t))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Tracer.Report().WriteMetrics(w)
+	st := s.cfg.Engine.Stats()
+	fmt.Fprintf(w, "relatch_engine_jobs_total{outcome=\"completed\"} %d\n", st.Completed)
+	fmt.Fprintf(w, "relatch_engine_jobs_total{outcome=\"failed\"} %d\n", st.Failed)
+	fmt.Fprintf(w, "relatch_engine_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(w, "relatch_engine_deduplicated_total %d\n", st.Deduplicated)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"hit\"} %d\n", st.Cache.Hits)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"disk_hit\"} %d\n", st.Cache.DiskHits)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"miss\"} %d\n", st.Cache.Misses)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"stored\"} %d\n", st.Cache.Stores)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"evicted\"} %d\n", st.Cache.Evictions)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"poisoned\"} %d\n", st.Cache.Poisoned)
+}
+
+// buildJob turns an API request into an engine job: build the circuit,
+// derive its clocking, and carry the options over.
+func (s *Server) buildJob(req jobRequest) (Job, error) {
+	ap, err := ParseApproach(req.Approach)
+	if err != nil {
+		return Job{}, err
+	}
+	method, err := flow.ParseMethod(req.Method)
+	if err != nil {
+		return Job{}, err
+	}
+	overhead := 1.0
+	if req.C != nil {
+		overhead = *req.C
+	}
+	lib := cell.Default(overhead)
+	var (
+		c      *netlist.Circuit
+		scheme clocking.Scheme
+	)
+	switch {
+	case req.Bench != "" && req.Verilog != "":
+		return Job{}, fmt.Errorf("engine: request has both bench and verilog")
+	case req.Bench != "":
+		prof, ok := bench.ProfileByName(req.Bench)
+		if !ok {
+			return Job{}, fmt.Errorf("engine: unknown benchmark %q", req.Bench)
+		}
+		seq, err := prof.BuildSeq(lib)
+		if err != nil {
+			return Job{}, err
+		}
+		c, scheme, err = prof.CutAndCalibrate(seq)
+		if err != nil {
+			return Job{}, err
+		}
+	case req.Verilog != "":
+		sc, err := verilog.ParseString(req.Verilog, lib)
+		if err != nil {
+			return Job{}, err
+		}
+		c, err = sc.Cut()
+		if err != nil {
+			return Job{}, err
+		}
+		scheme = bench.SchemeFor(c, sta.DefaultOptions(lib))
+	default:
+		return Job{}, fmt.Errorf("engine: request needs bench or verilog")
+	}
+	job := Job{
+		Circuit:  c,
+		Approach: ap,
+		PostSwap: ap.IsVLib(),
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	job.Options.Scheme = scheme
+	job.Options.EDLCost = overhead
+	job.Options.Method = method
+	job.Options.PivotLimit = req.PivotLimit
+	if req.GateModel {
+		job.Options.TimingModel = sta.ModelGate
+	}
+	return job, nil
+}
+
+func writeStatus(w http.ResponseWriter, t *Ticket) {
+	json.NewEncoder(w).Encode(statusOf(t))
+}
+
+func statusOf(t *Ticket) jobStatus {
+	state, _, _, _ := t.Status()
+	js := jobStatus{ID: t.ID, Key: t.Key.String(), Status: state.String()}
+	if err := t.Err(); err != nil {
+		js.Error = err.Error()
+	}
+	if out := t.Outcome(); out != nil {
+		sum := out.Summary()
+		js.Result = &sum
+		js.RuntimeMS = float64(out.Runtime.Microseconds()) / 1000
+	}
+	return js
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *obs.Tracer) {
+	t.Helper()
+	tr := obs.New("serve-test")
+	eng := New(Config{Workers: 2, Cache: mustCache(t, 8, "")})
+	t.Cleanup(eng.Close)
+	srv, err := NewServer(ServerConfig{Engine: eng, Tracer: tr, RequestTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, tr
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req jobRequest) (jobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js jobStatus
+	json.NewDecoder(resp.Body).Decode(&js)
+	return js, resp.StatusCode
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&js)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.Status == StateDone.String() || js.Status == StateFailed.String() {
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, js.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerSubmitPollComplete(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	js, code := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "grar"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %+v", code, js)
+	}
+	if js.ID == "" || len(js.Key) != 64 {
+		t.Fatalf("bad submit response: %+v", js)
+	}
+
+	done := pollDone(t, ts, js.ID)
+	if done.Status != "done" || done.Error != "" {
+		t.Fatalf("job ended %q (%s)", done.Status, done.Error)
+	}
+	if done.Result == nil || !done.Result.Certified {
+		t.Fatalf("completed job not certified: %+v", done.Result)
+	}
+	if done.Result.Approach != "g-rar" || done.Result.Slaves <= 0 {
+		t.Errorf("bad result row: %+v", done.Result)
+	}
+
+	// The listing includes the finished job.
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []jobStatus
+	err = json.NewDecoder(resp.Body).Decode(&all)
+	resp.Body.Close()
+	if err != nil || len(all) != 1 || all[0].ID != js.ID {
+		t.Errorf("listing = %+v (%v)", all, err)
+	}
+
+	// An identical resubmission is content-addressed to the same key and
+	// served from the cache.
+	again, code := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "grar"})
+	if code != http.StatusAccepted || again.Key != js.Key {
+		t.Fatalf("resubmission: code %d key %s, want key %s", code, again.Key, js.Key)
+	}
+	warm := pollDone(t, ts, again.ID)
+	if warm.Result == nil || warm.Result.CacheLayer != "memory" {
+		t.Errorf("resubmission missed the cache: %+v", warm.Result)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	js, _ := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "base"})
+	pollDone(t, ts, js.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, line := range []string{
+		"relatch_engine_submitted_total 1",
+		`relatch_engine_jobs_total{outcome="completed"} 1`,
+		`relatch_engine_cache_total{event="miss"} 1`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", "{torn"},
+		{"unknown field", `{"approach":"grar","verilog":"x","frob":1}`},
+		{"unknown approach", fmt.Sprintf(`{"approach":"warp","verilog":%q}`, testSource)},
+		{"no circuit", `{"approach":"grar"}`},
+		{"both circuits", fmt.Sprintf(`{"approach":"grar","verilog":%q,"bench":"s1196"}`, testSource)},
+		{"unknown bench", `{"approach":"grar","bench":"s0"}`},
+		{"bad verilog", `{"approach":"grar","verilog":"module m(; endmodule"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	srv, err := NewServer(ServerConfig{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+}
+
+func TestServerRequiresEngine(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("engine-less server constructed")
+	}
+}

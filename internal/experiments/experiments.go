@@ -10,12 +10,14 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"relatch/internal/bench"
 	"relatch/internal/cell"
 	"relatch/internal/clocking"
 	"relatch/internal/core"
+	"relatch/internal/engine"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
 	"relatch/internal/obs"
@@ -53,6 +55,15 @@ type Config struct {
 	MovableTrials int
 	// Method selects the flow solver.
 	Method flow.Method
+	// Parallelism bounds how many benchmarks sweep concurrently and how
+	// many retiming jobs the backing engine solves at once (≤ 1 runs
+	// serially). Results are identical at any setting: every job solves
+	// on its own clone and rows are collected in submission order.
+	Parallelism int
+	// CacheDir, when non-empty, adds an on-disk layer to the engine's
+	// result cache, so repeated sweeps restore (and re-certify) results
+	// instead of re-running the flow solver.
+	CacheDir string
 	// Logger, when non-nil, receives one structured record per completed
 	// step (obs.NewLogger renders them as compact single lines); nil
 	// discards progress.
@@ -131,6 +142,12 @@ func Run(cfg Config) (*Suite, error) {
 // the sweep between stages (and mid-solve inside each stage, since every
 // stage threads the context down to its flow solver or event loop) and
 // surfaces as an error wrapping ctx.Err().
+//
+// The retiming stages run as jobs on an engine bounded by
+// Config.Parallelism; benchmarks sweep concurrently under the same
+// bound. Suite.Runs keeps the requested profile order and every run is
+// byte-identical to a serial sweep — jobs solve on clones, and results
+// are collected by ticket, not by completion order.
 func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	lib := cell.Default(1.0)
 	profiles := cfg.Profiles
@@ -139,26 +156,103 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 			profiles = append(profiles, p.Name)
 		}
 	}
-	overheads := cfg.Overheads
-	if overheads == nil {
-		overheads = Overheads
-	}
-	suite := &Suite{Config: cfg}
-	for _, name := range profiles {
+	// Validate the whole list before burning any solve on it.
+	profs := make([]bench.Profile, len(profiles))
+	for i, name := range profiles {
 		prof, ok := bench.ProfileByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
 		}
-		run, err := runCircuit(ctx, &cfg, lib, prof, overheads)
+		profs[i] = prof
+	}
+	overheads := cfg.Overheads
+	if overheads == nil {
+		overheads = Overheads
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	cache, err := engine.NewCache(0, cfg.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	eng := engine.New(engine.Config{Workers: workers, Cache: cache})
+	defer eng.Close()
+
+	suite := &Suite{Config: cfg}
+	suite.Runs = make([]*CircuitRun, len(profs))
+	errs := make([]error, len(profs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, prof := range profs {
+		wg.Add(1)
+		go func(i int, prof bench.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run, err := runCircuit(ctx, &cfg, eng, lib, prof, overheads)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s: %w", prof.Name, err)
+				return
+			}
+			suite.Runs[i] = run
+		}(i, prof)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return nil, err
 		}
-		suite.Runs = append(suite.Runs, run)
 	}
 	return suite, nil
 }
 
-func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.Profile, overheads []float64) (*CircuitRun, error) {
+// retimeJobs submits the six retiming runs of one (circuit, overhead)
+// cell and collects them in submission order. All six solve concurrently
+// when the engine has slots to spare.
+func retimeJobs(ctx context.Context, eng *engine.Engine, c *netlist.Circuit, scheme clocking.Scheme, ov float64, method flow.Method, or *OverheadRun) error {
+	copt := core.Options{Scheme: scheme, EDLCost: ov, Method: method}
+	gateOpt := copt
+	gateOpt.TimingModel = sta.ModelGate
+	jobs := []engine.Job{
+		{Circuit: c, Approach: engine.Base, Options: copt},
+		{Circuit: c, Approach: engine.GRAR, Options: copt},
+		{Circuit: c, Approach: engine.GRAR, Options: gateOpt},
+		{Circuit: c, Approach: engine.NVL, Options: copt, PostSwap: true},
+		{Circuit: c, Approach: engine.EVL, Options: copt, PostSwap: true},
+		{Circuit: c, Approach: engine.RVL, Options: copt, PostSwap: true},
+	}
+	tickets := make([]*engine.Ticket, len(jobs))
+	for i, job := range jobs {
+		t, err := eng.Submit(ctx, job)
+		if err != nil {
+			return err
+		}
+		tickets[i] = t
+	}
+	outs := make([]*engine.Outcome, len(tickets))
+	var firstErr error
+	for i, t := range tickets {
+		out, err := t.Wait(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outs[i] = out
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	or.Base = outs[0].Core
+	or.GRARPath = outs[1].Core
+	or.GRARGate = outs[2].Core
+	or.NVL = outs[3].VLib
+	or.EVL = outs[4].VLib
+	or.RVL = outs[5].VLib
+	return nil
+}
+
+func runCircuit(ctx context.Context, cfg *Config, eng *engine.Engine, lib *cell.Library, prof bench.Profile, overheads []float64) (*CircuitRun, error) {
 	t0 := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sweep cancelled before %s: %w", prof.Name, err)
@@ -194,31 +288,11 @@ func runCircuit(ctx context.Context, cfg *Config, lib *cell.Library, prof bench.
 			return nil, fmt.Errorf("sweep cancelled before %s c=%g: %w", prof.Name, ov, err)
 		}
 		or := &OverheadRun{C: ov}
-		copt := core.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method}
-
-		if or.Base, err = core.RetimeCtx(ctx, c, copt, core.ApproachBase); err != nil {
-			return nil, err
-		}
-		if or.GRARPath, err = core.RetimeCtx(ctx, c, copt, core.ApproachGRAR); err != nil {
-			return nil, err
-		}
-		gateOpt := copt
-		gateOpt.TimingModel = sta.ModelGate
-		if or.GRARGate, err = core.RetimeCtx(ctx, c, gateOpt, core.ApproachGRAR); err != nil {
+		if err := retimeJobs(ctx, eng, c, scheme, ov, cfg.Method, or); err != nil {
 			return nil, err
 		}
 
 		vopt := vlib.Options{Scheme: scheme, EDLCost: ov, Method: cfg.Method, PostSwap: true}
-		if or.NVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.NVL); err != nil {
-			return nil, err
-		}
-		if or.EVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.EVL); err != nil {
-			return nil, err
-		}
-		if or.RVL, err = vlib.RetimeCtx(ctx, c, vopt, vlib.RVL); err != nil {
-			return nil, err
-		}
-
 		trials := cfg.MovableTrials
 		if trials <= 0 {
 			trials = 24

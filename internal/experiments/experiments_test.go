@@ -87,3 +87,52 @@ func TestOverheadNames(t *testing.T) {
 		t.Error("custom overhead label wrong")
 	}
 }
+
+// TestParallelismMatchesSerial is the suite-level determinism contract:
+// a parallel sweep must be value-identical to a serial one — jobs solve
+// on clones and results are collected in submission order, so the only
+// thing Parallelism may change is wall-clock time.
+func TestParallelismMatchesSerial(t *testing.T) {
+	run := func(par int) *OverheadRun {
+		s, err := Run(Config{
+			Profiles:      []string{"s1196"},
+			Overheads:     []float64{1.0},
+			SimCycles:     100,
+			MovableTrials: 2,
+			Parallelism:   par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Runs[0].ByOverhead[1.0]
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	type row struct {
+		slaves, masters, ed int
+		seqArea             float64
+	}
+	rows := func(or *OverheadRun) map[string]row {
+		return map[string]row{
+			"base":      {or.Base.SlaveCount, or.Base.MasterCount, or.Base.EDCount, or.Base.SeqArea},
+			"grar-path": {or.GRARPath.SlaveCount, or.GRARPath.MasterCount, or.GRARPath.EDCount, or.GRARPath.SeqArea},
+			"grar-gate": {or.GRARGate.SlaveCount, or.GRARGate.MasterCount, or.GRARGate.EDCount, or.GRARGate.SeqArea},
+			"nvl":       {or.NVL.SlaveCount, or.NVL.MasterCount, or.NVL.EDCount, or.NVL.SeqArea},
+			"evl":       {or.EVL.SlaveCount, or.EVL.MasterCount, or.EVL.EDCount, or.EVL.SeqArea},
+			"rvl":       {or.RVL.SlaveCount, or.RVL.MasterCount, or.RVL.EDCount, or.RVL.SeqArea},
+			"greclaim":  {or.GReclaim.SlaveCount, or.GReclaim.MasterCount, or.GReclaim.EDCount, or.GReclaim.SeqArea},
+		}
+	}
+	sr, pr := rows(serial), rows(parallel)
+	for name, want := range sr {
+		if got := pr[name]; got != want {
+			t.Errorf("%s: parallel %+v != serial %+v", name, got, want)
+		}
+	}
+	// The seeded simulation sees identical placements, so its statistics
+	// must match too.
+	if serial.ErrBase != parallel.ErrBase || serial.ErrG != parallel.ErrG || serial.ErrRVL != parallel.ErrRVL {
+		t.Error("simulation statistics diverge between serial and parallel sweeps")
+	}
+}

@@ -119,7 +119,7 @@ func Catalog() []Fault {
 			return err
 		}
 	}
-	return []Fault{
+	catalog := []Fault{
 		// --- netlist corruptions reaching the verilog elaborator ---
 		{
 			Name:  "combinational cycle through two nands",
@@ -625,6 +625,7 @@ func Catalog() []Fault {
 			},
 		},
 	}
+	return append(catalog, engineFaults(lib)...)
 }
 
 // certSubject assembles a fully consistent fig4 certification subject;

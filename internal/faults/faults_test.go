@@ -37,11 +37,11 @@ func TestCatalog(t *testing.T) {
 }
 
 // TestCatalogCoversRequiredClasses pins the breadth of the harness: at
-// least twelve distinct fault classes must stay registered.
+// least sixteen distinct fault classes must stay registered.
 func TestCatalogCoversRequiredClasses(t *testing.T) {
 	classes := Classes(Catalog())
-	if len(classes) < 12 {
-		t.Fatalf("catalog covers %d classes, want >= 12: %v", len(classes), classes)
+	if len(classes) < 16 {
+		t.Fatalf("catalog covers %d classes, want >= 16: %v", len(classes), classes)
 	}
 	for _, required := range []string{
 		"verilog/comb-cycle",
@@ -55,6 +55,11 @@ func TestCatalogCoversRequiredClasses(t *testing.T) {
 		"cert/stolen-gate",
 		"cert/dropped-edl-flag",
 		"cert/objective-mismatch",
+		"engine/worker-panic",
+		"engine/poisoned-cache",
+		"engine/cancelled-queue",
+		"engine/deadline",
+		"engine/bad-job",
 	} {
 		if classes[required] == 0 {
 			t.Errorf("required fault class %s missing", required)

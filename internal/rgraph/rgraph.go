@@ -527,14 +527,33 @@ func (g *Graph) buildLP() {
 			lp.Bound(v, -1, 0)
 		}
 	}
-	for _, m := range g.mirrorOf {
+	// Bound the auxiliary variables in sorted-key order: constraint
+	// order fixes the dual network's arc order and hence the simplex
+	// pivot path, so map iteration here would make solver-effort
+	// counters (and traces) differ between otherwise identical runs.
+	for _, m := range sortedValues(g.mirrorOf) {
 		lp.Bound(m, -1, 0)
 	}
-	for _, p := range g.pseudoOf {
+	for _, p := range sortedValues(g.pseudoOf) {
 		lp.Bound(p, -1, 0)
 	}
 	lp.SetPivotLimit(g.Cfg.PivotLimit)
 	g.lp = lp
+}
+
+// sortedValues returns m's values in ascending key order, for the
+// deterministic iteration buildLP needs.
+func sortedValues(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	vals := make([]int, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return vals
 }
 
 // EdgeAllowed reports whether edge (u,v) may legally carry a slave latch:
