@@ -9,6 +9,8 @@
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 #   make bench      regenerate BENCH_pipeline.json (perf trajectory)
 #   make serve-smoke end-to-end smoke of rar -serve over real HTTP
+#   make queue-crash-smoke SIGKILL rar -serve mid-job, restart on the
+#                   same -queue-dir, require the job to finish certified
 
 GO      ?= go
 FUZZTIME ?= 10s
@@ -19,7 +21,7 @@ BENCHJOBS ?= 4
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke queue-crash-smoke
 
 check: vet analyze build race fuzz-smoke
 
@@ -93,6 +95,8 @@ serve-smoke:
 		sleep 0.2; \
 	done; \
 	test $$up = 1 || { echo "serve-smoke: server never came up"; exit 1; }; \
+	curl -fsS http://$(SERVEADDR)/readyz >/dev/null \
+		|| { echo "serve-smoke: /readyz not ready on a fresh server"; exit 1; }; \
 	resp=$$(curl -fsS -X POST http://$(SERVEADDR)/jobs \
 		-d '{"bench":"s1196","approach":"grar","c":1.0}'); \
 	echo "$$resp"; \
@@ -102,7 +106,7 @@ serve-smoke:
 		out=$$(curl -fsS http://$(SERVEADDR)/jobs/$$id); \
 		case "$$out" in \
 			*'"status":"done"'*) break;; \
-			*'"status":"failed"'*) echo "$$out"; exit 1;; \
+			*'"status":"dead"'*) echo "$$out"; exit 1;; \
 		esac; \
 		sleep 0.2; \
 	done; \
@@ -114,6 +118,57 @@ serve-smoke:
 	curl -fsS http://$(SERVEADDR)/metrics | grep -q '^relatch_engine_submitted_total 1$$' \
 		|| { echo "serve-smoke: metrics missing submission counter"; exit 1; }; \
 	echo "serve-smoke ok"
+
+# Durability smoke: start rar -serve with a journal directory, submit a
+# job, SIGKILL the server before it can be polled, restart on the same
+# -queue-dir, and require the journaled job to be recovered and driven
+# to a certified result. Exercises the write-ahead journal, the stale
+# pid-lock steal, and the restart pump end to end over real HTTP.
+QSMOKEADDR ?= 127.0.0.1:18427
+queue-crash-smoke:
+	$(GO) build -o build/rar ./cmd/rar
+	@set -e; \
+	qdir=$$(mktemp -d); pid=; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf $$qdir' EXIT; \
+	./build/rar -serve $(QSMOKEADDR) -j 2 -queue-dir $$qdir & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(QSMOKEADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test $$up = 1 || { echo "queue-crash-smoke: server never came up"; exit 1; }; \
+	resp=$$(curl -fsS -X POST http://$(QSMOKEADDR)/jobs \
+		-d '{"bench":"s1423","approach":"grar","c":1.0}'); \
+	echo "$$resp"; \
+	id=$$(printf '%s' "$$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "queue-crash-smoke: no job id in response"; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	echo "queue-crash-smoke: killed pid $$pid, restarting on $$qdir"; \
+	./build/rar -serve $(QSMOKEADDR) -j 2 -queue-dir $$qdir & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(QSMOKEADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test $$up = 1 || { echo "queue-crash-smoke: server never came back"; exit 1; }; \
+	out=; for i in $$(seq 1 150); do \
+		out=$$(curl -fsS http://$(QSMOKEADDR)/jobs/$$id); \
+		case "$$out" in \
+			*'"status":"done"'*) break;; \
+			*'"status":"dead"'*) echo "$$out"; exit 1;; \
+		esac; \
+		sleep 0.2; \
+	done; \
+	echo "$$out"; \
+	case "$$out" in \
+		*'"status":"done"'*) ;; \
+		*) echo "queue-crash-smoke: job never settled after restart"; exit 1;; \
+	esac; \
+	case "$$out" in \
+		*'"certified":true'*) ;; \
+		*) echo "queue-crash-smoke: recovered job lacks a clean certificate"; exit 1;; \
+	esac; \
+	curl -fsS http://$(QSMOKEADDR)/readyz >/dev/null \
+		|| { echo "queue-crash-smoke: restarted server not ready"; exit 1; }; \
+	echo "queue-crash-smoke ok"
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/

@@ -100,6 +100,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (validated on load; empty = in-memory only)")
 	serveAddr := flag.String("serve", "", "serve the retiming job API over HTTP on this address (e.g. :8080) instead of running locally")
 	serveTimeout := flag.Duration("serve-timeout", 2*time.Minute, "per-request HTTP timeout in -serve mode (jobs keep running; 0 = none)")
+	queueDir := flag.String("queue-dir", "", "write-ahead job journal directory for -serve; restarting on the same dir recovers queued and in-flight jobs (empty = in-memory queue)")
+	queueCap := flag.Int("queue-cap", 0, "bound on queued+running jobs in -serve mode; submissions beyond it get 429 (0 = default 1024)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease duration in -serve mode; an expired lease requeues the job (0 = default 2m)")
+	jobRetries := flag.Int("job-retries", 0, "per-job attempt budget in -serve mode before the dead-letter state (0 = default 5)")
 	flag.Parse()
 
 	if *list {
@@ -142,6 +146,10 @@ func main() {
 		cacheDir:     *cacheDir,
 		serveAddr:    *serveAddr,
 		serveTimeout: *serveTimeout,
+		queueDir:     *queueDir,
+		queueCap:     *queueCap,
+		leaseTTL:     *leaseTTL,
+		jobRetries:   *jobRetries,
 		timeout:      *timeout,
 	}
 
@@ -205,6 +213,10 @@ type options struct {
 	cacheDir               string
 	serveAddr              string
 	serveTimeout           time.Duration
+	queueDir               string
+	queueCap               int
+	leaseTTL               time.Duration
+	jobRetries             int
 	timeout                time.Duration
 }
 

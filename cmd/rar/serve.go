@@ -7,14 +7,19 @@ import (
 
 	"relatch/internal/engine"
 	"relatch/internal/obs"
+	"relatch/internal/queue"
 )
 
-// runServe is the -serve mode: an engine fronted by the HTTP job API.
-// POST /jobs submits a benchmark or inline Verilog netlist, GET
-// /jobs/{id} polls status and result, GET /jobs lists every submission,
-// GET /metrics serves the obs counters. SIGINT drains the listener
-// gracefully, then the deferred engine close cancels whatever is still
-// solving; a clean shutdown exits 0.
+// runServe is the -serve mode: a durable job queue pumping an engine,
+// fronted by the HTTP job API. POST /jobs journals and admits a
+// benchmark or inline Verilog netlist (429 + Retry-After when
+// shedding), GET /jobs/{id} polls status with attempt/retry detail,
+// GET /jobs?state=dead inspects the dead letter, /healthz is liveness,
+// /readyz readiness, GET /metrics the obs counters. With -queue-dir
+// the journal survives crashes: restarting on the same directory
+// recovers every queued and in-flight job. SIGINT drains the listener
+// gracefully, then the deferred closes stop the pump, queue and
+// engine; a clean shutdown exits 0.
 func runServe(ctx context.Context, o options) error {
 	cache, err := engine.NewCache(0, o.cacheDir)
 	if err != nil {
@@ -22,16 +27,41 @@ func runServe(ctx context.Context, o options) error {
 	}
 	tr := obs.New("serve")
 	defer tr.Finish()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+	metrics := obs.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers:    o.jobs,
 		Cache:      cache,
 		JobTimeout: o.timeout,
 	})
 	defer eng.Close()
+	q, err := queue.Open(queue.Config{
+		Dir:         o.queueDir,
+		Capacity:    o.queueCap,
+		LeaseTTL:    o.leaseTTL,
+		MaxAttempts: o.jobRetries,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+	d, err := engine.NewDurable(engine.DurableConfig{
+		Engine:  eng,
+		Queue:   q,
+		Tracer:  tr,
+		Logger:  logger,
+		Metrics: metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
 	srv, err := engine.NewServer(engine.ServerConfig{
-		Engine:         eng,
+		Durable:        d,
 		Tracer:         tr,
-		Logger:         obs.NewLogger(os.Stderr, slog.LevelInfo),
+		Metrics:        metrics,
+		Logger:         logger,
 		RequestTimeout: o.serveTimeout,
 	})
 	if err != nil {

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"relatch/internal/queue"
+)
+
+// waitSettled polls the queue until the job is done or dead.
+func waitSettled(t *testing.T, q *queue.Queue, id string) queue.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished from the queue", id)
+		}
+		if j.State == queue.StateDone || j.State == queue.StateDead {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDurableRecoversJournaledJobs is the restart story end to end:
+// jobs journaled by a previous process (no pump ever saw them) are
+// picked up by a fresh durable layer and driven to a certified result.
+func TestDurableRecoversJournaledJobs(t *testing.T) {
+	dir := t.TempDir()
+	req := JobRequest{Verilog: testSource, Approach: "grar"}
+
+	// "First process": journal a submission, then die before working it.
+	q1, err := queue.Open(queue.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(envelope{Req: req, RequestID: "restart-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := BuildJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := job.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := q1.Enqueue(key.String(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Close()
+
+	// "Second process": same dir, a real engine behind the pump.
+	q2, err := queue.Open(queue.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	eng := New(Config{Workers: 2, Cache: mustCache(t, 8, "")})
+	defer eng.Close()
+	d, err := NewDurable(DurableConfig{Engine: eng, Queue: q2, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	got := waitSettled(t, q2, j.ID)
+	if got.State != queue.StateDone {
+		t.Fatalf("recovered job ended %s (%s)", got.State, got.LastError)
+	}
+	var res durableResult
+	if err := json.Unmarshal(got.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Certified || res.Result.Slaves <= 0 {
+		t.Fatalf("recovered result not certified: %+v", res.Result)
+	}
+}
+
+// TestDurableDuplicateDeliveryCollapses proves the at-least-once queue
+// composes with the content-addressed engine into effectively-once
+// work: two deliveries of the same request settle as two done jobs but
+// only one solve happens.
+func TestDurableDuplicateDeliveryCollapses(t *testing.T) {
+	q, err := queue.Open(queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	eng := New(Config{Workers: 2, Cache: mustCache(t, 8, "")})
+	defer eng.Close()
+	d, err := NewDurable(DurableConfig{Engine: eng, Queue: q, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	req := JobRequest{Verilog: testSource, Approach: "grar"}
+	j1, err := d.Enqueue(req, "dup-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := d.Enqueue(req, "dup-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Key != j2.Key {
+		t.Fatalf("identical requests got different keys: %s vs %s", j1.Key, j2.Key)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		if got := waitSettled(t, q, id); got.State != queue.StateDone {
+			t.Fatalf("job %s ended %s (%s)", id, got.State, got.LastError)
+		}
+	}
+	st := eng.Stats()
+	collapsed := st.Deduplicated + st.Cache.Hits + st.Cache.DiskHits
+	if st.Submitted != 2 || collapsed < 1 {
+		t.Fatalf("duplicate delivery did not collapse: %+v", st)
+	}
+}
+
+// TestDurableKillsUnbuildableJobs: a journaled payload that no longer
+// decodes is a deterministic failure — it goes straight to the dead
+// letter instead of burning retries.
+func TestDurableKillsUnbuildableJobs(t *testing.T) {
+	q, err := queue.Open(queue.Config{MaxAttempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	d, err := NewDurable(DurableConfig{Engine: eng, Queue: q, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	j, err := q.Enqueue("bogus-key", []byte(`{"req":{"approach":"warp"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitSettled(t, q, j.ID)
+	if got.State != queue.StateDead || got.Attempts != 1 {
+		t.Fatalf("unbuildable job = %+v", got)
+	}
+}

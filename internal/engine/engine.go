@@ -257,6 +257,25 @@ func New(cfg Config) *Engine {
 // Cache returns the engine's cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cfg.Cache }
 
+// Saturated reports whether every worker slot is currently occupied —
+// the signal the serve layer uses to fall back to cache-only answers.
+func (e *Engine) Saturated() bool { return len(e.sem) == cap(e.sem) }
+
+// CachedOutcome returns a validated cached outcome for the job without
+// consuming a worker slot or touching the queue. It backs the degraded
+// serve-from-cache-only mode: a cache probe, restore and re-certify,
+// nothing else.
+func (e *Engine) CachedOutcome(ctx context.Context, job Job) (*Outcome, bool) {
+	if e.cfg.Cache == nil {
+		return nil, false
+	}
+	key, err := job.Key()
+	if err != nil {
+		return nil, false
+	}
+	return e.cfg.Cache.Get(ctx, key, job)
+}
+
 // Close cancels every queued and in-flight job and waits for the
 // workers to drain. Submissions after Close fail.
 func (e *Engine) Close() {

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,18 +18,23 @@ import (
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
 	"relatch/internal/obs"
+	"relatch/internal/queue"
 	"relatch/internal/sta"
 	"relatch/internal/verilog"
 )
 
 // ServerConfig configures the HTTP frontend.
 type ServerConfig struct {
-	// Engine executes the submitted jobs. Required. The server does not
-	// own its lifecycle: the caller closes it after shutdown.
-	Engine *Engine
+	// Durable is the queue-backed execution layer behind every route.
+	// Required. The server does not own its lifecycle: the caller closes
+	// it (then the queue, then the engine) after shutdown.
+	Durable *Durable
 	// Tracer, when non-nil, backs /metrics and is attached to every
 	// submitted job's context.
 	Tracer *obs.Tracer
+	// Metrics, when non-nil, is rendered into /metrics alongside the
+	// tracer report (the queue's transition counters live here).
+	Metrics *obs.Registry
 	// Logger receives request/submission logs (nil = discard).
 	Logger *slog.Logger
 	// RequestTimeout bounds each HTTP handler (0 = no limit). Jobs are
@@ -35,28 +42,57 @@ type ServerConfig struct {
 	RequestTimeout time.Duration
 }
 
-// Server is the rar -serve HTTP frontend: POST /jobs submits a netlist
-// plus options, GET /jobs/{id} polls status and result, GET /metrics
-// serves the obs counters in Prometheus text format.
+// Server is the rar -serve HTTP frontend: POST /jobs journals and
+// admits a job (202, or 200 straight from cache in degraded mode, or
+// 429 + Retry-After when shedding), GET /jobs/{id} polls status with
+// attempt/retry detail, GET /jobs?state= filters the queue (including
+// the dead letter), /healthz is liveness, /readyz is readiness, and
+// GET /metrics serves the obs counters in Prometheus text format.
+// Every response carries an X-Request-Id.
 type Server struct {
 	cfg ServerConfig
-	// jobCtx parents every submission, so jobs survive their submitting
-	// request and die with the engine, not with the connection.
-	jobCtx context.Context
 }
 
-// NewServer builds the HTTP frontend over an engine.
+// NewServer builds the HTTP frontend over a durable layer.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("engine: server needs an engine")
+	if cfg.Durable == nil {
+		return nil, fmt.Errorf("engine: server needs a durable layer")
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DiscardLogger()
 	}
-	return &Server{cfg: cfg, jobCtx: obs.WithTracer(context.Background(), cfg.Tracer)}, nil
+	return &Server{cfg: cfg}, nil
 }
 
-// Handler returns the route table, wrapped in the request timeout.
+// ctxKey keys the request ID in a request context.
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// requestID returns the request's ID, assigned by the middleware.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// withRequestID honours an incoming X-Request-Id or mints one, sets it
+// on the response, and threads it through the request context so job
+// submissions can journal it.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			var buf [8]byte
+			rand.Read(buf[:])
+			id = hex.EncodeToString(buf[:])
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// Handler returns the route table, wrapped in the request-ID middleware
+// and the request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -64,13 +100,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness: the process is up and serving HTTP. Nothing else —
+		// an overloaded instance is alive, just not ready.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	var h http.Handler = withRequestID(mux)
 	if s.cfg.RequestTimeout <= 0 {
-		return mux
+		return h
 	}
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
+	return http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out\n")
 }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
@@ -102,10 +142,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return nil
 }
 
-// jobRequest is the POST /jobs payload. Exactly one of Bench (an
+// JobRequest is the POST /jobs payload. Exactly one of Bench (an
 // ISCAS'89 profile name) or Verilog (inline structural source) selects
-// the circuit.
-type jobRequest struct {
+// the circuit. It is also the shape journaled into the durable queue,
+// which is what makes crash recovery possible: a replayed record
+// rebuilds the job from this request and re-runs the full
+// solve+certify pipeline.
+type JobRequest struct {
 	Bench   string `json:"bench,omitempty"`
 	Verilog string `json:"verilog,omitempty"`
 
@@ -120,63 +163,103 @@ type jobRequest struct {
 
 // jobStatus is the JSON shape of a submitted job, for POST and GET.
 type jobStatus struct {
-	ID        string   `json:"id"`
-	Key       string   `json:"key"`
-	Status    string   `json:"status"`
-	Error     string   `json:"error,omitempty"`
-	Result    *Summary `json:"result,omitempty"`
-	RuntimeMS float64  `json:"runtime_ms,omitempty"`
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	// Attempts counts started attempts; MaxAttempts is the retry budget.
+	Attempts    int    `json:"attempts,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// NextRetryMS is how long until a retrying job becomes eligible
+	// again.
+	NextRetryMS float64  `json:"next_retry_ms,omitempty"`
+	Result      *Summary `json:"result,omitempty"`
+	RuntimeMS   float64  `json:"runtime_ms,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
+	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad request: %w", err))
 		return
 	}
-	job, err := s.buildJob(req)
-	if err != nil {
+	d := s.cfg.Durable
+	// Degraded mode: with the worker pool saturated or the queue at
+	// capacity, cached keys are still answerable without consuming
+	// either — serve them synchronously instead of queueing or shedding.
+	if d.Saturated() || d.Queue().Full() {
+		if out, ok := d.CachedOutcome(r.Context(), req); ok {
+			sum := out.Summary()
+			s.cfg.Logger.Info("served from cache (degraded mode)", "key", out.Key.Short(),
+				"request_id", requestID(r))
+			writeJSON(w, http.StatusOK, jobStatus{
+				ID: "cached-" + out.Key.Short(), Key: out.Key.String(), Status: "done",
+				Result: &sum, RuntimeMS: float64(out.Runtime.Microseconds()) / 1000,
+			})
+			return
+		}
+	}
+	j, err := d.Enqueue(req, requestID(r))
+	switch {
+	case errors.Is(err, queue.ErrFull):
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, queue.ErrClosed), errors.Is(err, queue.ErrCrashed):
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.cfg.Engine.Submit(s.jobCtx, job)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.cfg.Logger.Info("job submitted", "id", t.ID, "key", t.Key.Short(),
-		"approach", string(job.Approach), "circuit", job.Circuit.Name)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	writeStatus(w, t)
+	s.cfg.Logger.Info("job accepted", "id", j.ID, "key", j.Key, "request_id", requestID(r))
+	// Retry-After on the 202 is the poll-interval hint.
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusAccepted, s.statusOf(j))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.cfg.Engine.Get(r.PathValue("id"))
+	j, ok := s.cfg.Durable.Queue().Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("engine: no job %q", r.PathValue("id")))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	writeStatus(w, t)
+	writeJSON(w, http.StatusOK, s.statusOf(j))
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	tickets := s.cfg.Engine.Tickets()
-	out := make([]jobStatus, 0, len(tickets))
-	for _, t := range tickets {
-		out = append(out, statusOf(t))
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	want := r.URL.Query().Get("state")
+	jobs := s.cfg.Durable.Queue().Jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		js := s.statusOf(j)
+		if want != "" && js.Status != want {
+			continue
+		}
+		out = append(out, js)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ok, reason := s.cfg.Durable.Ready(); !ok {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cfg.Tracer.Report().WriteMetrics(w)
-	st := s.cfg.Engine.Stats()
+	s.cfg.Metrics.WriteMetrics(w)
+	st := s.cfg.Durable.Engine().Stats()
 	fmt.Fprintf(w, "relatch_engine_jobs_total{outcome=\"completed\"} %d\n", st.Completed)
 	fmt.Fprintf(w, "relatch_engine_jobs_total{outcome=\"failed\"} %d\n", st.Failed)
 	fmt.Fprintf(w, "relatch_engine_submitted_total %d\n", st.Submitted)
@@ -189,9 +272,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"poisoned\"} %d\n", st.Cache.Poisoned)
 }
 
-// buildJob turns an API request into an engine job: build the circuit,
-// derive its clocking, and carry the options over.
-func (s *Server) buildJob(req jobRequest) (Job, error) {
+// BuildJob turns an API request into an engine job: build the circuit,
+// derive its clocking, and carry the options over. It is deterministic
+// in the request, so the durable layer can rebuild a journaled job
+// byte-identically after a restart.
+func BuildJob(req JobRequest) (Job, error) {
 	ap, err := ParseApproach(req.Approach)
 	if err != nil {
 		return Job{}, err
@@ -254,26 +339,33 @@ func (s *Server) buildJob(req jobRequest) (Job, error) {
 	return job, nil
 }
 
-func writeStatus(w http.ResponseWriter, t *Ticket) {
-	json.NewEncoder(w).Encode(statusOf(t))
-}
-
-func statusOf(t *Ticket) jobStatus {
-	state, _, _, _ := t.Status()
-	js := jobStatus{ID: t.ID, Key: t.Key.String(), Status: state.String()}
-	if err := t.Err(); err != nil {
-		js.Error = err.Error()
+// statusOf renders a queue job for the API, decoding the stored result
+// payload for done jobs.
+func (s *Server) statusOf(j queue.Job) jobStatus {
+	now := s.cfg.Durable.Queue().Now()
+	js := jobStatus{
+		ID: j.ID, Key: j.Key, Status: j.StatusAt(now),
+		Attempts: j.Attempts, MaxAttempts: j.MaxAttempts, Error: j.LastError,
 	}
-	if out := t.Outcome(); out != nil {
-		sum := out.Summary()
-		js.Result = &sum
-		js.RuntimeMS = float64(out.Runtime.Microseconds()) / 1000
+	if j.State == queue.StateQueued && j.NextRetry.After(now) {
+		js.NextRetryMS = float64(j.NextRetry.Sub(now).Microseconds()) / 1000
+	}
+	if j.State == queue.StateDone && len(j.Result) > 0 {
+		var res durableResult
+		if err := json.Unmarshal(j.Result, &res); err == nil {
+			js.Result = &res.Result
+			js.RuntimeMS = res.RuntimeMS
+		}
 	}
 	return js
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

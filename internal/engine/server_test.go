@@ -12,23 +12,66 @@ import (
 	"time"
 
 	"relatch/internal/obs"
+	"relatch/internal/queue"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *obs.Tracer) {
+// testStack is the full durable serving stack behind one test server.
+type testStack struct {
+	eng     *Engine
+	q       *queue.Queue
+	d       *Durable
+	metrics *obs.Registry
+}
+
+// newTestStack assembles engine+queue+pump with test-friendly knobs.
+// Mutate cfg/qcfg via the callbacks before the components start.
+func newTestStack(t *testing.T, mutate func(*Config, *queue.Config, *DurableConfig)) *testStack {
 	t.Helper()
-	tr := obs.New("serve-test")
-	eng := New(Config{Workers: 2, Cache: mustCache(t, 8, "")})
-	t.Cleanup(eng.Close)
-	srv, err := NewServer(ServerConfig{Engine: eng, Tracer: tr, RequestTimeout: 30 * time.Second})
+	cfg := Config{Workers: 2, Cache: mustCache(t, 8, "")}
+	qcfg := queue.Config{BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	dcfg := DurableConfig{Poll: 2 * time.Millisecond, Sweep: 5 * time.Millisecond}
+	if mutate != nil {
+		mutate(&cfg, &qcfg, &dcfg)
+	}
+	st := &testStack{metrics: obs.NewRegistry()}
+	if qcfg.Metrics == nil {
+		qcfg.Metrics = st.metrics
+	}
+	st.eng = New(cfg)
+	var err error
+	if st.q, err = queue.Open(qcfg); err != nil {
+		t.Fatal(err)
+	}
+	dcfg.Engine, dcfg.Queue, dcfg.Metrics = st.eng, st.q, st.metrics
+	if st.d, err = NewDurable(dcfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		st.d.Close()
+		st.q.Close()
+		st.eng.Close()
+	})
+	return st
+}
+
+func newTestServer(t *testing.T, mutate func(*Config, *queue.Config, *DurableConfig)) (*httptest.Server, *testStack) {
+	t.Helper()
+	st := newTestStack(t, mutate)
+	srv, err := NewServer(ServerConfig{
+		Durable:        st.d,
+		Tracer:         obs.New("serve-test"),
+		Metrics:        st.metrics,
+		RequestTimeout: 30 * time.Second,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts, tr
+	return ts, st
 }
 
-func postJob(t *testing.T, ts *httptest.Server, req jobRequest) (jobStatus, int) {
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (jobStatus, *http.Response) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -41,7 +84,7 @@ func postJob(t *testing.T, ts *httptest.Server, req jobRequest) (jobStatus, int)
 	defer resp.Body.Close()
 	var js jobStatus
 	json.NewDecoder(resp.Body).Decode(&js)
-	return js, resp.StatusCode
+	return js, resp
 }
 
 func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
@@ -58,7 +101,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if js.Status == StateDone.String() || js.Status == StateFailed.String() {
+		if js.Status == "done" || js.Status == "dead" {
 			return js
 		}
 		if time.Now().After(deadline) {
@@ -69,14 +112,20 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) jobStatus {
 }
 
 func TestServerSubmitPollComplete(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, _ := newTestServer(t, nil)
 
-	js, code := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "grar"})
-	if code != http.StatusAccepted {
-		t.Fatalf("submit returned %d: %+v", code, js)
+	js, resp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %+v", resp.StatusCode, js)
 	}
 	if js.ID == "" || len(js.Key) != 64 {
 		t.Fatalf("bad submit response: %+v", js)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("submit response missing X-Request-Id")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("202 missing the Retry-After poll hint")
 	}
 
 	done := pollDone(t, ts, js.ID)
@@ -89,24 +138,27 @@ func TestServerSubmitPollComplete(t *testing.T) {
 	if done.Result.Approach != "g-rar" || done.Result.Slaves <= 0 {
 		t.Errorf("bad result row: %+v", done.Result)
 	}
+	if done.RuntimeMS <= 0 {
+		t.Errorf("done job reports no runtime: %+v", done)
+	}
 
 	// The listing includes the finished job.
-	resp, err := http.Get(ts.URL + "/jobs")
+	hresp, err := http.Get(ts.URL + "/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var all []jobStatus
-	err = json.NewDecoder(resp.Body).Decode(&all)
-	resp.Body.Close()
+	err = json.NewDecoder(hresp.Body).Decode(&all)
+	hresp.Body.Close()
 	if err != nil || len(all) != 1 || all[0].ID != js.ID {
 		t.Errorf("listing = %+v (%v)", all, err)
 	}
 
 	// An identical resubmission is content-addressed to the same key and
-	// served from the cache.
-	again, code := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "grar"})
-	if code != http.StatusAccepted || again.Key != js.Key {
-		t.Fatalf("resubmission: code %d key %s, want key %s", code, again.Key, js.Key)
+	// completes out of the engine cache.
+	again, aresp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar"})
+	if aresp.StatusCode != http.StatusAccepted || again.Key != js.Key {
+		t.Fatalf("resubmission: code %d key %s, want key %s", aresp.StatusCode, again.Key, js.Key)
 	}
 	warm := pollDone(t, ts, again.ID)
 	if warm.Result == nil || warm.Result.CacheLayer != "memory" {
@@ -114,9 +166,235 @@ func TestServerSubmitPollComplete(t *testing.T) {
 	}
 }
 
+func TestServerEchoesRequestID(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs", nil)
+	req.Header.Set("X-Request-Id", "req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "req-42" {
+		t.Errorf("X-Request-Id = %q, want the incoming req-42", got)
+	}
+}
+
+func TestServerShedsWith429WhenFull(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts, _ := newTestServer(t, func(cfg *Config, qcfg *queue.Config, _ *DurableConfig) {
+		cfg.Workers = 1
+		cfg.SolveOverride = func(ctx context.Context, job Job) (*Outcome, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, fmt.Errorf("test solve aborted: %v", ctx.Err())
+		}
+		qcfg.Capacity = 2
+	})
+
+	codes := make(map[int]int)
+	var retryAfter string
+	for i := 0; i < 4; i++ {
+		_, resp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar", TimeoutMS: int(time.Hour.Milliseconds()), PivotLimit: i + 1})
+		codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+	if codes[http.StatusAccepted] != 2 || codes[http.StatusTooManyRequests] != 2 {
+		t.Fatalf("codes = %v, want two 202 and two 429", codes)
+	}
+	if retryAfter == "" {
+		t.Error("429 missing Retry-After")
+	}
+}
+
+func TestServerServesCacheOnlyWhenSaturated(t *testing.T) {
+	// Warm a shared cache with a real solve, then saturate the server's
+	// worker pool: the warm key must still be answered, synchronously
+	// and straight from the cache.
+	cache := mustCache(t, 8, "")
+	warmEng := New(Config{Workers: 1, Cache: cache})
+	req := JobRequest{Verilog: testSource, Approach: "grar"}
+	job, err := BuildJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmEng.Do(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	warmEng.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	ts, st := newTestServer(t, func(cfg *Config, qcfg *queue.Config, _ *DurableConfig) {
+		cfg.Workers = 1
+		cfg.Cache = cache
+		cfg.SolveOverride = func(ctx context.Context, job Job) (*Outcome, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, fmt.Errorf("test solve aborted: %v", ctx.Err())
+		}
+	})
+
+	// Saturate the single worker with a key that blocks forever. The
+	// pivot limit keeps its key distinct from the warm one (timeout is
+	// canonicalized out of the key).
+	_, resp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar", TimeoutMS: int(time.Hour.Milliseconds()), PivotLimit: 7})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("saturating submit returned %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !st.d.Saturated() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker pool never saturated")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	js, resp := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit under saturation returned %d: %+v", resp.StatusCode, js)
+	}
+	if js.Status != "done" || js.Result == nil || !js.Result.CacheHit {
+		t.Fatalf("degraded-mode response not a cache hit: %+v", js)
+	}
+}
+
+func TestServerDeadLetterInspectable(t *testing.T) {
+	ts, _ := newTestServer(t, func(cfg *Config, qcfg *queue.Config, _ *DurableConfig) {
+		cfg.SolveOverride = func(ctx context.Context, job Job) (*Outcome, error) {
+			return nil, fmt.Errorf("solver permanently broken")
+		}
+		qcfg.MaxAttempts = 2
+	})
+	js, resp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	dead := pollDone(t, ts, js.ID)
+	if dead.Status != "dead" || dead.Attempts != 2 || !strings.Contains(dead.Error, "permanently broken") {
+		t.Fatalf("dead job = %+v", dead)
+	}
+
+	hresp, err := http.Get(ts.URL + "/jobs?state=dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deads []jobStatus
+	err = json.NewDecoder(hresp.Body).Decode(&deads)
+	hresp.Body.Close()
+	if err != nil || len(deads) != 1 || deads[0].ID != js.ID {
+		t.Errorf("dead listing = %+v (%v)", deads, err)
+	}
+	hresp, err = http.Get(ts.URL + "/jobs?state=done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deads = nil
+	json.NewDecoder(hresp.Body).Decode(&deads)
+	hresp.Body.Close()
+	if len(deads) != 0 {
+		t.Errorf("state=done listing includes the dead job: %+v", deads)
+	}
+}
+
+func TestServerReportsRetryDetail(t *testing.T) {
+	fail := make(chan struct{}, 1)
+	fail <- struct{}{}
+	ts, _ := newTestServer(t, func(cfg *Config, qcfg *queue.Config, _ *DurableConfig) {
+		cfg.SolveOverride = func(ctx context.Context, job Job) (*Outcome, error) {
+			select {
+			case <-fail:
+				return nil, fmt.Errorf("transient solver hiccup")
+			default:
+				<-ctx.Done() // park until shutdown; the poller reads the retry state meanwhile
+				return nil, fmt.Errorf("test solve aborted: %v", ctx.Err())
+			}
+		}
+		qcfg.BaseBackoff = time.Minute
+		qcfg.MaxBackoff = time.Minute
+	})
+	js, _ := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar"})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + js.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got jobStatus
+		json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if got.Status == "retrying" {
+			if got.Attempts != 1 || !strings.Contains(got.Error, "hiccup") || got.NextRetryMS <= 0 {
+				t.Fatalf("retrying status = %+v", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached retrying state: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestServerReadyzFlipsUnderSustainedOverload(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts, _ := newTestServer(t, func(cfg *Config, qcfg *queue.Config, dcfg *DurableConfig) {
+		cfg.Workers = 1
+		cfg.SolveOverride = func(ctx context.Context, job Job) (*Outcome, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, fmt.Errorf("test solve aborted: %v", ctx.Err())
+		}
+		qcfg.Capacity = 4
+		dcfg.OverloadHighWater = 0.5
+		dcfg.OverloadGrace = 20 * time.Millisecond
+		dcfg.Sweep = 5 * time.Millisecond
+	})
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("fresh server readyz = %d", code)
+	}
+	// Fill past the high-water mark (2 of 4) with distinct blocking keys.
+	for i := 0; i < 3; i++ {
+		if _, resp := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "grar", TimeoutMS: int(time.Hour.Milliseconds()), PivotLimit: i + 1}); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d returned %d", i, resp.StatusCode)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for get("/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped unready under sustained overload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Liveness is unaffected by overload.
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d during overload", code)
+	}
+}
+
 func TestServerMetrics(t *testing.T) {
-	ts, _ := newTestServer(t)
-	js, _ := postJob(t, ts, jobRequest{Verilog: testSource, Approach: "base"})
+	ts, _ := newTestServer(t, nil)
+	js, _ := postJob(t, ts, JobRequest{Verilog: testSource, Approach: "base"})
 	pollDone(t, ts, js.ID)
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -131,6 +409,9 @@ func TestServerMetrics(t *testing.T) {
 		"relatch_engine_submitted_total 1",
 		`relatch_engine_jobs_total{outcome="completed"} 1`,
 		`relatch_engine_cache_total{event="miss"} 1`,
+		`relatch_queue_jobs_total{event="enqueued"} 1`,
+		`relatch_queue_jobs_total{event="completed"} 1`,
+		"relatch_queue_depth 0",
 	} {
 		if !strings.Contains(text, line) {
 			t.Errorf("metrics missing %q:\n%s", line, text)
@@ -139,7 +420,7 @@ func TestServerMetrics(t *testing.T) {
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, _ := newTestServer(t, nil)
 	cases := []struct {
 		name string
 		body string
@@ -163,7 +444,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(ts.URL + "/jobs/job-999999")
+	resp, err := http.Get(ts.URL + "/jobs/q-99999999")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,9 +464,8 @@ func TestServerRejectsBadRequests(t *testing.T) {
 }
 
 func TestServerGracefulShutdown(t *testing.T) {
-	eng := New(Config{Workers: 1})
-	defer eng.Close()
-	srv, err := NewServer(ServerConfig{Engine: eng})
+	st := newTestStack(t, nil)
+	srv, err := NewServer(ServerConfig{Durable: st.d})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,8 +484,8 @@ func TestServerGracefulShutdown(t *testing.T) {
 	}
 }
 
-func TestServerRequiresEngine(t *testing.T) {
+func TestServerRequiresDurable(t *testing.T) {
 	if _, err := NewServer(ServerConfig{}); err == nil {
-		t.Error("engine-less server constructed")
+		t.Error("server constructed without a durable layer")
 	}
 }

@@ -625,7 +625,8 @@ func Catalog() []Fault {
 			},
 		},
 	}
-	return append(catalog, engineFaults(lib)...)
+	catalog = append(catalog, engineFaults(lib)...)
+	return append(catalog, queueFaults()...)
 }
 
 // certSubject assembles a fully consistent fig4 certification subject;

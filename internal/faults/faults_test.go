@@ -40,8 +40,8 @@ func TestCatalog(t *testing.T) {
 // least sixteen distinct fault classes must stay registered.
 func TestCatalogCoversRequiredClasses(t *testing.T) {
 	classes := Classes(Catalog())
-	if len(classes) < 16 {
-		t.Fatalf("catalog covers %d classes, want >= 16: %v", len(classes), classes)
+	if len(classes) < 22 {
+		t.Fatalf("catalog covers %d classes, want >= 22: %v", len(classes), classes)
 	}
 	for _, required := range []string{
 		"verilog/comb-cycle",

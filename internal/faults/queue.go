@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"relatch/internal/queue"
+)
+
+// queueDir makes a throwaway journal directory; the caller's deferred
+// cleanup removes it.
+func queueDir() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "relatch-faults-queue")
+	if err != nil {
+		return "", nil, fmt.Errorf("faults: bad fixture: %v", err)
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// queueFaults attacks the durable job queue: crashes at journal record
+// boundaries, corrupted committed history, leases expiring mid-solve,
+// duplicate deliveries, overflow and double-opened directories. Every
+// corruption must surface as a descriptive error — a crash may lose the
+// torn tail, but committed history must never silently change, a stale
+// lease must never settle a job, and a full queue must shed rather than
+// grow without bound. The positive recovery invariants (reopen after a
+// torn tail, no accepted job lost) live in this package's recovery
+// test.
+func queueFaults() []Fault {
+	return []Fault{
+		{
+			Name:  "crash between journal records",
+			Class: "queue/crash-between-records",
+			Inject: func(ctx context.Context) error {
+				dir, cleanup, err := queueDir()
+				if err != nil {
+					return err
+				}
+				defer cleanup()
+				crashed := false
+				q, err := queue.Open(queue.Config{
+					Dir: dir,
+					AppendHook: func(recType string, seq uint64) error {
+						if crashed {
+							return fmt.Errorf("process died before record %d hit the journal", seq)
+						}
+						return nil
+					},
+				})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer q.Close()
+				if _, err := q.Enqueue("k1", nil); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				crashed = true
+				// The submit whose record never became durable must fail —
+				// a 202 for it would be a lie — and the queue must refuse
+				// further work rather than let memory and disk diverge.
+				if _, err := q.Enqueue("k2", nil); err == nil {
+					return nil // harness fails this: the lost record was accepted
+				}
+				_, _, err = q.Lease()
+				return err
+			},
+		},
+		{
+			Name:  "journal truncated inside committed history",
+			Class: "queue/journal-truncation",
+			Inject: func(ctx context.Context) error {
+				dir, cleanup, err := queueDir()
+				if err != nil {
+					return err
+				}
+				defer cleanup()
+				q, err := queue.Open(queue.Config{Dir: dir})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := q.Enqueue(fmt.Sprintf("k%d", i), nil); err != nil {
+						q.Close()
+						return fmt.Errorf("faults: bad fixture: %v", err)
+					}
+				}
+				q.Close()
+				segs, err := queue.Segments(dir)
+				if err != nil || len(segs) == 0 {
+					return fmt.Errorf("faults: bad fixture: no segments (%v)", err)
+				}
+				// Cut a committed frame's length header so a later frame's
+				// bytes parse against the wrong checksum: damage inside
+				// history, not a torn tail.
+				raw, err := os.ReadFile(segs[0])
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				binary.LittleEndian.PutUint32(raw, binary.LittleEndian.Uint32(raw)+3)
+				if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = queue.Open(queue.Config{Dir: dir})
+				return err
+			},
+		},
+		{
+			Name:  "lease expiring under a slow worker",
+			Class: "queue/lease-expiry-mid-solve",
+			Inject: func(ctx context.Context) error {
+				q, err := queue.Open(queue.Config{
+					LeaseTTL:    1, // nanosecond lease: expired the moment it is taken
+					BaseBackoff: 1,
+				})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer q.Close()
+				if _, err := q.Enqueue("k", nil); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				slow, ok, err := q.Lease()
+				if err != nil || !ok {
+					return fmt.Errorf("faults: bad fixture: lease ok=%v err=%v", ok, err)
+				}
+				if n, err := q.ExpireLeases(); err != nil || n != 1 {
+					return fmt.Errorf("faults: bad fixture: expired %d (%v)", n, err)
+				}
+				// The slow worker finally finishes — its settle must be
+				// fenced out, not accepted over the requeued job.
+				return q.Complete(slow.ID, slow.Lease, []byte(`{}`))
+			},
+		},
+		{
+			Name:  "duplicate delivery settling twice",
+			Class: "queue/double-delivery",
+			Inject: func(ctx context.Context) error {
+				q, err := queue.Open(queue.Config{})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer q.Close()
+				if _, err := q.Enqueue("k", nil); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				j, ok, err := q.Lease()
+				if err != nil || !ok {
+					return fmt.Errorf("faults: bad fixture: lease ok=%v err=%v", ok, err)
+				}
+				if err := q.Complete(j.ID, j.Lease, []byte(`{"n":1}`)); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				// The second delivery of the same completion must be
+				// rejected, never double-publish a result.
+				return q.Complete(j.ID, j.Lease, []byte(`{"n":2}`))
+			},
+		},
+		{
+			Name:  "queue at capacity",
+			Class: "queue/overflow",
+			Inject: func(ctx context.Context) error {
+				q, err := queue.Open(queue.Config{Capacity: 1})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer q.Close()
+				if _, err := q.Enqueue("k1", nil); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = q.Enqueue("k2", nil)
+				return err
+			},
+		},
+		{
+			Name:  "journal directory opened twice",
+			Class: "queue/locked-dir",
+			Inject: func(ctx context.Context) error {
+				dir, cleanup, err := queueDir()
+				if err != nil {
+					return err
+				}
+				defer cleanup()
+				q, err := queue.Open(queue.Config{Dir: dir})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer q.Close()
+				q2, err := queue.Open(queue.Config{Dir: dir})
+				if err == nil {
+					q2.Close()
+				}
+				return err
+			},
+		},
+	}
+}

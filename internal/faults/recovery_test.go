@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"relatch/internal/engine"
+	"relatch/internal/queue"
+)
+
+// TestCrashRecoveryProperty is the durability acceptance property: for
+// every crash point between journal records, every job the queue
+// accepted before the crash is driven to done (with a certified
+// result) or dead by a restarted engine — never lost. The crash is
+// injected via the queue's AppendHook, which kills the journal exactly
+// at a record boundary; the restart replays the surviving records.
+func TestCrashRecoveryProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is slow")
+	}
+	// Distinct pivot limits give each request a distinct content key, so
+	// recovery has real per-job work to account for.
+	requests := make([]engine.JobRequest, 4)
+	for i := range requests {
+		requests[i] = engine.JobRequest{Verilog: goodSource, Approach: "grar", PivotLimit: i + 1}
+	}
+	// Crash after N journal appends, for every N that falls inside the
+	// submit burst (each submit is one record; the pump may interleave
+	// lease/complete records, which is part of the point).
+	for crashAfter := 1; crashAfter <= 6; crashAfter++ {
+		t.Run(fmt.Sprintf("crash-after-%d-records", crashAfter), func(t *testing.T) {
+			dir := t.TempDir()
+			accepted := crashPhase(t, dir, requests, crashAfter)
+			recoverPhase(t, dir, accepted)
+		})
+	}
+}
+
+// crashPhase runs a serving stack against a journal that dies after
+// crashAfter appends, submits the requests, and returns the IDs the
+// queue accepted (the jobs that are owed). The stack is torn down as a
+// crashed process would leave it: without settling in-flight work.
+func crashPhase(t *testing.T, dir string, requests []engine.JobRequest, crashAfter int) []string {
+	t.Helper()
+	appends := 0
+	q, err := queue.Open(queue.Config{
+		Dir:         dir,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		AppendHook: func(recType string, seq uint64) error {
+			appends++
+			if appends > crashAfter {
+				return fmt.Errorf("injected crash before record %d", seq)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	d, err := engine.NewDurable(engine.DurableConfig{
+		Engine: eng, Queue: q, Poll: time.Millisecond, Sweep: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var accepted []string
+	for _, req := range requests {
+		j, err := d.Enqueue(req, "crash-test")
+		if err != nil {
+			// The crash hit this submit (or an earlier pump transition):
+			// the record never became durable, so the job was never owed.
+			break
+		}
+		accepted = append(accepted, j.ID)
+	}
+	return accepted
+}
+
+// recoverPhase restarts on the journal dir and asserts every accepted
+// job settles as done (certified) or dead.
+func recoverPhase(t *testing.T, dir string, accepted []string) {
+	t.Helper()
+	q, err := queue.Open(queue.Config{Dir: dir, MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer q.Close()
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	d, err := engine.NewDurable(engine.DurableConfig{
+		Engine: eng, Queue: q, Poll: time.Millisecond, Sweep: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range accepted {
+		for {
+			j, ok := q.Get(id)
+			if !ok {
+				t.Fatalf("accepted job %s lost across the crash", id)
+			}
+			if j.State == queue.StateDone {
+				if res, cert := recoveredSummary(t, j); !cert {
+					t.Fatalf("job %s served uncertified after recovery: %s", id, res)
+				}
+				break
+			}
+			if j.State == queue.StateDead {
+				break // retry budget exhausted is a legal terminal state
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s after recovery", id, j.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// recoveredSummary decodes a done job's stored result and reports
+// whether it is certified.
+func recoveredSummary(t *testing.T, j queue.Job) (string, bool) {
+	t.Helper()
+	var res struct {
+		Result engine.Summary `json:"result"`
+	}
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		t.Fatalf("job %s result undecodable: %v", j.ID, err)
+	}
+	return fmt.Sprintf("%+v", res.Result), res.Result.Certified
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a process-wide metrics sink for components whose lifetime
+// outlives any single traced request — the durable job queue, lease
+// sweeps, recovery replays. Spans cover work that happens inside one
+// context; the registry covers state transitions that happen on
+// background goroutines and must still show up on /metrics. All methods
+// are safe on a nil receiver (no-ops) and for concurrent use, matching
+// the Span conventions.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+	}
+}
+
+// Add increments a monotonic counter. The name may carry a literal
+// Prometheus label set, e.g. `relatch_queue_jobs_total{event="retry"}`.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set records a point-in-time gauge value; the last write wins.
+func (r *Registry) Set(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Counter returns a counter's accumulated value (0 when absent).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns a gauge's last value (0 when absent).
+func (r *Registry) Gauge(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// WriteMetrics renders every counter and gauge in Prometheus text
+// format, sorted by name so output is diff-stable.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges))
+	for k, v := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
