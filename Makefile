@@ -4,7 +4,7 @@
 #   make test       plain test suite (the tier-1 gate)
 #   make lint       static lint over examples and generated benchmarks
 #   make certify    retime + certify every seed benchmark, every approach
-#   make analyze    repo-convention analyzers (bare panic, context plumbing)
+#   make analyze    relint: the full internal/analysis rule catalogue
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 #   make bench      regenerate BENCH_pipeline.json (perf trajectory)
@@ -31,11 +31,15 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The repo's own conventions, enforced with a stdlib-only AST pass:
-# no bare panic outside tests / Must* constructors / the fault harness,
-# and no exported function calling a *Ctx API without taking a context.
+# The repo's own invariants, machine-enforced by the internal/analysis
+# catalogue (stdlib-only go/ast + go/types): map-iteration determinism
+# (the PR 5 bug class), context threading, sentinel error discipline,
+# journal-first ordering in the queue, hot-loop allocation hygiene, obs
+# span discipline, bare-panic and stderr conventions. Exit 1 on any
+# finding; see README "Static analysis" for the suppression syntax.
 analyze:
-	$(GO) run ./build/analyzers .
+	$(GO) build -o build/relint ./cmd/relint
+	./build/relint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,114 @@
+// Command relint runs the internal/analysis rule catalogue over the
+// repo's Go sources: the determinism and convention invariants that
+// past PRs established the hard way (map-iteration determinism from
+// PR 5, journal-first durability, sentinel error discipline, hot-loop
+// allocation hygiene, span/context plumbing). It is the source-code
+// member of the repo's checker family — internal/lint gates the
+// netlists the pipeline consumes, internal/cert gates the results it
+// produces, relint gates the implementation in between.
+//
+// Usage:
+//
+//	relint [flags] [root ...]
+//
+// Roots default to "."; the go tool spelling "./..." is accepted and
+// equivalent. Flags:
+//
+//	-rules r1,r2  run only the named rules (default: full catalogue)
+//	-allow FILE   hotalloc allowlist (default internal/analysis/hotalloc.allow)
+//	-json         emit findings as a JSON array instead of text
+//	-list         print the rule catalogue and exit
+//
+// Findings print one per line in the internal/lint diagnostic format
+// (file:line:col: error: message [rule]). Suppress a finding with
+//
+//	//relint:ignore <rule> -- <reason>
+//
+// on or above the offending line, or in the function's doc comment to
+// cover the whole function. Exit codes: 0 clean, 1 findings, 2
+// usage/load errors — the same contract as the build/analyzers tool
+// this command replaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relatch/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("relint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		rulesFlag = fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
+		allowFlag = fs.String("allow", "internal/analysis/hotalloc.allow", "hotalloc allowlist file")
+		jsonFlag  = fs.Bool("json", false, "emit findings as JSON")
+		listFlag  = fs.Bool("list", false, "print the rule catalogue and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: relint [flags] [root ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *listFlag {
+		for _, r := range analysis.Catalogue() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Doc)
+		}
+		return 0
+	}
+	rules, err := analysis.Select(*rulesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		return 2
+	}
+	allow, err := analysis.LoadHotAllow(*allowFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		return 2
+	}
+	cfg := analysis.Config{HotAllow: allow}
+
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var findings []analysis.Diagnostic
+	for _, root := range roots {
+		tree, err := analysis.Load(root, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+			return 2
+		}
+		// Type errors degrade rules to syntactic coverage; surface them
+		// without failing, so a stale importer cache can't block CI on a
+		// false positive.
+		for _, terr := range tree.TypeErrors {
+			fmt.Fprintf(os.Stderr, "relint: type info incomplete: %v\n", terr)
+		}
+		findings = append(findings, tree.Run(rules)...)
+	}
+
+	if *jsonFlag {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "relint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -64,7 +64,12 @@ func main() {
 	}
 
 	fmt.Println("\ncandidate cuts (Section III):")
-	for name, p := range map[string]*netlist.Placement{"Cut1": fig4.Cut1(c), "Cut2": fig4.Cut2(c)} {
+	cuts := []struct {
+		name string
+		p    *netlist.Placement
+	}{{"Cut1", fig4.Cut1(c)}, {"Cut2", fig4.Cut2(c)}}
+	for _, cut := range cuts {
+		name, p := cut.name, cut.p
 		res, err := core.Evaluate(c, opt, p)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Rules barepanic and stderr: the two file-local conventions migrated
+// from build/analyzers (the third, context plumbing, grew into
+// ctxthread).
+//
+// barepanic: library code returns errors. panic( is allowed only in
+// the fault-injection harness (internal/faults, whose whole job is
+// provoking failures) and in functions whose name starts with Must —
+// the established idiom for fixture constructors with documented panic
+// behavior (cell.MustCell, fig4.MustCircuit). Test files are excluded
+// at load time.
+//
+// stderr: library and example code must not write progress with
+// fmt.Fprint*(os.Stderr, ...) — structured logging through log/slog
+// with an obs handler (obs.NewLogger) owns those lines. Direct stderr
+// writes are allowed only in cmd/ (the CLIs own their error text and
+// exit codes) and under build/ (repo tooling).
+func checkBarePanic(p *Pass) []Diagnostic {
+	if strings.Contains(p.Path+"/", "internal/faults/") && !strings.Contains(p.Path, "testdata/src/barepanic") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					out = append(out, p.diag("barepanic", call.Pos(),
+						"bare panic in %s: return an error, or rename the function Must%s", fn.Name.Name, fn.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func checkStderr(p *Pass) []Diagnostic {
+	slashed := p.Path + "/"
+	if (strings.Contains(slashed, "cmd/") || strings.Contains(slashed, "build/")) &&
+		!strings.Contains(p.Path, "testdata/src/stderr") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Name != "fmt" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Fprint", "Fprintf", "Fprintln":
+				default:
+					return true
+				}
+				argSel, ok := call.Args[0].(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				argPkg, ok := argSel.X.(*ast.Ident)
+				if !ok || argPkg.Name != "os" || argSel.Sel.Name != "Stderr" {
+					return true
+				}
+				out = append(out, p.diag("stderr", call.Pos(),
+					"%s writes to os.Stderr directly: use log/slog via obs.NewLogger (stderr belongs to cmd/)", fn.Name.Name))
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Rule ctxthread: cancellation must reach the solver from every public
+// entry point. Two clauses:
+//
+//  1. Repo-wide (migrated from build/analyzers): an exported function
+//     that calls an exported *Ctx API (SolveCtx, RetimeCtx, RunCtx, ...)
+//     must itself accept a context.Context. Wrappers that explicitly
+//     pass context.Background()/context.TODO() as the first argument
+//     are the documented "I have no context" shims and are exempt, as
+//     are function literals that take their own context parameter
+//     (registered callbacks are a separate plumbing scope).
+//
+//  2. Guarantee-chain packages only: an exported function without a
+//     context parameter must not make blocking I/O calls directly
+//     (os.Open/ReadFile/..., net.Listen/Dial, http.*, exec.*) —
+//     long-running pipeline work has to stay cancellable end to end.
+//     Constructors and teardown (New*, Open*, Close*, Must*) are
+//     exempt: they run once at the edges, not inside the pipeline.
+var ioCalls = map[string]map[string]bool{
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "ReadFile": true,
+		"WriteFile": true, "ReadDir": true, "Remove": true, "RemoveAll": true,
+		"Rename": true, "MkdirAll": true, "Mkdir": true,
+	},
+	"net":  {"Listen": true, "Dial": true, "DialTimeout": true, "ListenPacket": true},
+	"http": {"Get": true, "Post": true, "PostForm": true, "Head": true, "Do": true},
+	"exec": {"Command": true, "CommandContext": true, "LookPath": true},
+}
+
+func checkCtxThread(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	ioScope := inScope(p.Path, "ctxthread", chainPackages...)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() || acceptsContext(fn.Type) {
+				continue
+			}
+			out = append(out, p.unthreadedCtxCalls(fn)...)
+			if ioScope && !exemptFromIO(fn.Name.Name) {
+				out = append(out, p.unthreadedIOCalls(fn)...)
+			}
+		}
+	}
+	return out
+}
+
+// exemptFromIO: construction and teardown run at the pipeline edges.
+func exemptFromIO(name string) bool {
+	for _, pre := range []string{"Must", "New", "Open", "Close"} {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsContext reports whether any parameter has type context.Context.
+func acceptsContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "context" && sel.Sel.Name == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unthreadedCtxCalls is clause 1: *Ctx callees inside a context-less
+// exported function.
+func (p *Pass) unthreadedCtxCalls(fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && acceptsContext(lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		// Only exported-style *Ctx callees count as API entry points;
+		// local helpers like newCtx are not cancellation surfaces.
+		if !strings.HasSuffix(name, "Ctx") || name == "Ctx" || !ast.IsExported(name) {
+			return true
+		}
+		if len(call.Args) > 0 && isExplicitNoContext(call.Args[0]) {
+			return true
+		}
+		out = append(out, p.diag("ctxthread", call.Pos(),
+			"exported %s calls %s without accepting a context.Context parameter", fn.Name.Name, name))
+		return true
+	})
+	return out
+}
+
+// unthreadedIOCalls is clause 2: direct blocking I/O inside a
+// context-less exported function of a guarantee-chain package.
+func (p *Pass) unthreadedIOCalls(fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && acceptsContext(lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if names := ioCalls[pkg.Name]; names != nil && names[sel.Sel.Name] {
+			out = append(out, p.diag("ctxthread", call.Pos(),
+				"exported %s does blocking I/O (%s.%s) without accepting a context.Context parameter",
+				fn.Name.Name, pkg.Name, sel.Sel.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// isExplicitNoContext matches context.Background() / context.TODO().
+func isExplicitNoContext(arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO")
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Rule journalfirst: internal/queue's durability contract is
+// write-ahead — a 202 response means the job is owed, which is only
+// true if the submit record hits the journal before any in-memory
+// state reflects it. A method that mutates queue state first and
+// appends second has a crash window where memory and journal disagree,
+// and replay resurrects a state the caller never observed.
+//
+// Detection is two-pass and name-based (the journal primitive is
+// unexported, so types don't help across files):
+//
+//  1. Collect "append-like" methods: those whose body calls the journal
+//     primitive (a selector call named `append` — the builtin is an
+//     Ident, so there is no collision) or another append-like method,
+//     to a fixpoint.
+//  2. In every method that calls an append-like callee, flag receiver
+//     state mutations (assignments/IncDec whose left side is rooted at
+//     the receiver, or at a local bound to receiver state via `:=`)
+//     positioned before the first append-like call.
+//
+// Plain-identifier assignments (`attempts := jb.Attempts + 1`) are
+// local copies, never shared state, and are not flagged — the idiom
+// for fixing a violation is exactly "compute into locals, append the
+// record built from them, then mutate". Infrastructure fields that the
+// journal never replays (metrics counters, the poison flag, the
+// journal handle itself, locks, config) are exempt by field name.
+var journalExemptFields = map[string]bool{
+	"counts": true, "crashed": true, "j": true, "unlock": true,
+	"cfg": true, "mu": true,
+}
+
+func checkJournalFirst(p *Pass) []Diagnostic {
+	if !inScope(p.Path, "journalfirst", "internal/queue") {
+		return nil
+	}
+	appendLike := collectAppendLike(p)
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			out = append(out, p.checkJournalOrder(fn, appendLike)...)
+		}
+	}
+	return out
+}
+
+// collectAppendLike computes, to a fixpoint, the set of method names
+// whose bodies reach a journal append.
+func collectAppendLike(p *Pass) map[string]bool {
+	set := make(map[string]bool)
+	methods := make(map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			methods[fn.Name.Name] = fn
+			if callsJournalAppend(fn.Body, nil) {
+				set[fn.Name.Name] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fn := range methods {
+			if !set[name] && callsJournalAppend(fn.Body, set) {
+				set[name] = true
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// callsJournalAppend reports whether the body contains a call to the
+// journal primitive (selector named `append`) or, when extra is
+// non-nil, to any method named in extra.
+func callsJournalAppend(body *ast.BlockStmt, extra map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "append" || (extra != nil && extra[sel.Sel.Name]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkJournalOrder flags receiver state mutations before the first
+// append-like call of one method.
+func (p *Pass) checkJournalOrder(fn *ast.FuncDecl, appendLike map[string]bool) []Diagnostic {
+	recv := receiverName(fn)
+	if recv == "" {
+		return nil
+	}
+	firstAppend := firstAppendPos(fn.Body, appendLike)
+	if !firstAppend.IsValid() {
+		return nil
+	}
+	// Shared state reachable from this method: the receiver, pointer
+	// parameters (markDeadLocked-style helpers get *job handles into
+	// receiver-owned state), and locals aliased via := (jb := q.jobs[id]).
+	tainted := map[string]bool{recv: true}
+	for _, field := range fn.Type.Params.List {
+		if _, ok := field.Type.(*ast.StarExpr); !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			tainted[name.Name] = true
+		}
+	}
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok.String() == ":=" && mentionsAny(st.Rhs, tainted) {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						tainted[id.Name] = true
+					}
+				}
+				return true
+			}
+			if st.Pos() >= firstAppend {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if root, path := selectorRoot(lhs); root != "" && tainted[root] && !exemptPath(path) {
+					out = append(out, p.diag("journalfirst", st.Pos(),
+						"%s mutates queue state (%s) before the journal append on the same path; append the record first, then mutate (write-ahead contract)",
+						funcName(fn), describeExpr(lhs)))
+				}
+			}
+		case *ast.IncDecStmt:
+			if st.Pos() >= firstAppend {
+				return true
+			}
+			if root, path := selectorRoot(st.X); root != "" && tainted[root] && !exemptPath(path) {
+				out = append(out, p.diag("journalfirst", st.Pos(),
+					"%s mutates queue state (%s) before the journal append on the same path; append the record first, then mutate (write-ahead contract)",
+					funcName(fn), describeExpr(st.X)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverName extracts the receiver identifier of a method.
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+// firstAppendPos returns the position of the first append-like call in
+// the body (token.NoPos when absent).
+func firstAppendPos(body *ast.BlockStmt, appendLike map[string]bool) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "append" || appendLike[sel.Sel.Name] {
+				if !pos.IsValid() || call.Pos() < pos {
+					pos = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// selectorRoot decomposes a left-hand side into its root identifier and
+// the selector field names along the path. Plain identifiers return an
+// empty root: assigning to a local copy is never a shared-state
+// mutation.
+func selectorRoot(e ast.Expr) (root string, path []string) {
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			path = append(path, t.Sel.Name)
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			if len(path) == 0 {
+				return "", nil
+			}
+			return t.Name, path
+		default:
+			return "", nil
+		}
+	}
+}
+
+// exemptPath reports whether any field on the selector path is
+// journal-exempt infrastructure.
+func exemptPath(path []string) bool {
+	for _, f := range path {
+		if journalExemptFields[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsAny reports whether any expression references one of the
+// named identifiers.
+func mentionsAny(exprs []ast.Expr, names map[string]bool) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

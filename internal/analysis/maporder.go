@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule maporder: Go randomizes map iteration order, so a `for range`
+// over a map must not do ordered work in its body. PR 5 hit this in
+// production: rgraph.buildLP added mirror/pseudo Bound constraints by
+// ranging over maps, which randomized the dual network's arc order and
+// therefore the simplex pivot path — -j N and -j 1 produced different
+// solver-effort counters for identical inputs. The fix (sort keys, then
+// iterate the sorted slice) is now the required idiom, and this rule is
+// the compile-gate that keeps the bug class out of the solver-speed
+// rewrites ROADMAP plans.
+//
+// Flagged inside a map-range body:
+//
+//   - append to a slice declared outside the loop — unless that slice is
+//     later passed to a sort.*/slices.Sort* call in the same function
+//     (the sanctioned collect-then-sort idiom, e.g. rgraph.sortedValues);
+//   - writer calls (fmt.Fprint*/Print*, Write/WriteString/...): output
+//     would render in random order;
+//   - ordered-sink methods (Constrain, Bound, AddArc, AddBound,
+//     SetDemand, Push, Enqueue, Append, Emit): solver/LP input and
+//     queue-like structures are order-sensitive by construction.
+//
+// Not flagged: map/set writes (m[k] = v commutes), counter aggregation,
+// and appends to slices declared inside the loop body (fresh per
+// iteration). The rule needs type information to recognize map ranges;
+// expressions the checker could not type are skipped.
+var orderedSinks = map[string]bool{
+	"Constrain": true, "Bound": true, "AddArc": true, "AddBound": true,
+	"SetDemand": true, "Push": true, "Enqueue": true, "Append": true,
+	"Emit": true,
+}
+
+var writerCalls = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+var sortCalls = map[string]bool{
+	// sort.*
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	// slices.* (Sort shared above)
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func checkMapOrder(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		forEachFunc(f, func(body *ast.BlockStmt, _ *ast.FuncDecl) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !p.isMapType(rs.X) {
+					return true
+				}
+				out = append(out, p.checkMapRange(rs, body)...)
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// forEachFunc visits every function body of a file exactly once at its
+// own nesting level: FuncDecls with their enclosing decl, and top-level
+// function literals with a nil decl. Rules that need "the enclosing
+// function" (for sort-later exemptions, defer matching) get a stable
+// scope this way.
+func forEachFunc(f *ast.File, visit func(body *ast.BlockStmt, fn *ast.FuncDecl)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				visit(d.Body, d)
+			}
+		case *ast.GenDecl:
+			ast.Inspect(d, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+					visit(lit.Body, nil)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether the expression's static type is a map.
+func (p *Pass) isMapType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body. fnBody is the innermost
+// enclosing function body, searched for later sort calls.
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if target, outer := p.appendTarget(call.Args[0], rs.Body); outer != nil {
+				if target != nil && p.sortedLater(target, rs, fnBody) {
+					return true
+				}
+				out = append(out, p.diag("maporder", call.Pos(),
+					"append to %s inside `for range` over a map builds an order-dependent slice from randomized iteration; sort the keys first (PR 5 bug class)",
+					describeExpr(call.Args[0])))
+			}
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			if writerCalls[name] {
+				out = append(out, p.diag("maporder", call.Pos(),
+					"%s inside `for range` over a map writes output in randomized order; iterate sorted keys instead", name))
+				return true
+			}
+			if orderedSinks[name] && !declaredInside(sel.X, rs.Body, p) {
+				out = append(out, p.diag("maporder", call.Pos(),
+					"%s inside `for range` over a map feeds an order-sensitive sink in randomized order; iterate sorted keys instead (PR 5: buildLP bound insertion)", name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendTarget classifies an append's first argument. It returns the
+// target identifier (nil when the target is an index/selector
+// expression) and a non-nil marker when the target lives outside the
+// loop body — the order-sensitive case.
+func (p *Pass) appendTarget(arg ast.Expr, loop *ast.BlockStmt) (id *ast.Ident, outer ast.Expr) {
+	switch t := arg.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[t]; obj != nil && obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End() {
+			return t, nil // fresh slice per iteration: order-safe
+		}
+		return t, t
+	case *ast.IndexExpr, *ast.SelectorExpr:
+		return nil, t
+	}
+	return nil, nil
+}
+
+// declaredInside reports whether the expression is an identifier whose
+// declaration sits inside the loop body (per-iteration state).
+func declaredInside(e ast.Expr, loop *ast.BlockStmt, p *Pass) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	return obj != nil && obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End()
+}
+
+// sortedLater reports whether the identifier's object is an argument of
+// a sort.*/slices.Sort* call after the loop in the same function — the
+// collect-then-sort idiom.
+func (p *Pass) sortedLater(id *ast.Ident, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, selOK := call.Fun.(*ast.SelectorExpr)
+		if !selOK || !sortCalls[sel.Sel.Name] {
+			return true
+		}
+		if pkg, pkgOK := sel.X.(*ast.Ident); !pkgOK || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, aok := an.(*ast.Ident); aok && p.Info.Uses[aid] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// describeExpr renders a short name for messages.
+func describeExpr(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return describeExpr(t.X) + "." + t.Sel.Name
+	case *ast.IndexExpr:
+		return describeExpr(t.X) + "[...]"
+	}
+	return "slice"
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Rule obsspan: a span started with obs.StartSpan must have a deferred
+// End in the same function, so the span closes on every path — early
+// returns, error exits, panics. Explicit early End calls remain fine
+// (Span.End is first-call-wins idempotent, so the deferred one becomes
+// a no-op safety net and recorded durations stay accurate); what the
+// rule rejects is relying on explicit Ends alone, where a new early
+// return silently leaks an open span and the trace tree loses a node.
+//
+// Matching is syntactic: `sp, ctx := obs.StartSpan(...)` requires a
+// `defer sp.End()` (or a deferred closure containing sp.End()) in the
+// innermost enclosing function. Spans assigned to `_` are deliberate
+// discards and skipped.
+func checkObsSpan(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncDecl:
+				if t.Body != nil {
+					out = append(out, p.checkSpanFunc(t.Body)...)
+				}
+			case *ast.FuncLit:
+				if t.Body != nil {
+					out = append(out, p.checkSpanFunc(t.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSpanFunc checks the spans started directly in one function body.
+// Nested function literals are separate scopes — their spans are
+// checked by their own visit, and their defers don't cover this body.
+func (p *Pass) checkSpanFunc(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !selectorOn(call, "obs", "StartSpan") {
+			return true
+		}
+		span, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || span.Name == "_" {
+			return true
+		}
+		if !hasDeferredEnd(body, span.Name) {
+			out = append(out, p.diag("obsspan", assign.Pos(),
+				"span %s from obs.StartSpan has no deferred End in this function; add `defer %s.End()` so the span closes on every path (explicit early Ends stay valid — End is idempotent)",
+				span.Name, span.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// hasDeferredEnd reports whether the body contains `defer name.End()`
+// or a deferred function literal calling name.End().
+func hasDeferredEnd(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.DeferStmt:
+			if callsEndOn(t.Call, name) {
+				found = true
+				return false
+			}
+			if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(in ast.Node) bool {
+					if call, ok := in.(*ast.CallExpr); ok && callsEndOn(call, name) {
+						found = true
+						return false
+					}
+					return true
+				})
+			}
+			return false // deferred call handled above; skip normal descent
+		case *ast.FuncLit:
+			return false // nested scope: its defers don't cover this body
+		}
+		return true
+	})
+	return found
+}
+
+// callsEndOn matches name.End(...).
+func callsEndOn(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}

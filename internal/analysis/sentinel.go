@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Rule sentinel: errors leaving a guarantee-chain package must be
+// classifiable with errors.Is. Every package in the chain declares its
+// failure modes as sentinels (flow.ErrInfeasible, queue.ErrStaleLease,
+// cert.ErrNotCertified, ...) and call sites wrap them:
+//
+//	return fmt.Errorf("flow: %w: net %d demand %d", ErrUnbalanced, n, d)
+//
+// A bare fmt.Errorf without %w, or errors.New, at a return site
+// produces an error no caller can branch on — the engine's retry/dead
+// classification and the CLI's exit-code mapping both depend on Is
+// working across package boundaries. Flagged: errors.New(...) and
+// fmt.Errorf with a string-literal format lacking %w, directly inside a
+// ReturnStmt of a chain package. Package-level `var ErrX = errors.New`
+// declarations are the sentinels themselves and are fine.
+func checkSentinel(p *Pass) []Diagnostic {
+	if !inScope(p.Path, "sentinel", chainPackages...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				ast.Inspect(res, func(rn ast.Node) bool {
+					call, ok := rn.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if selectorOn(call, "errors", "New") {
+						out = append(out, p.diag("sentinel", call.Pos(),
+							"errors.New at a return site: wrap a declared sentinel with fmt.Errorf(\"...: %%w: ...\", ErrX) so callers can errors.Is across the package boundary"))
+						return true
+					}
+					if selectorOn(call, "fmt", "Errorf") && len(call.Args) > 0 {
+						if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+							out = append(out, p.diag("sentinel", call.Pos(),
+								"fmt.Errorf without %%w at a return site: wrap a declared sentinel (or the upstream error) so callers can errors.Is across the package boundary"))
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//relint:ignore <rule>[,<rule>] -- <reason>
+//
+// On (or directly above) a line, the directive suppresses the named
+// rules' findings anchored to that line. In a function's doc comment it
+// suppresses them for the whole function body — the form used where one
+// audited design decision would otherwise need a comment per statement
+// (e.g. queue.Open's replay reconstruction).
+//
+// The reason is mandatory. A directive without one is reported as a
+// finding of the pseudo-rule "suppression": an unexplained suppression
+// is exactly the kind of silent exception this package exists to
+// prevent.
+
+const ignorePrefix = "//relint:ignore"
+
+// suppressions indexes the directives of one package.
+type suppressions struct {
+	// byLine maps file → line → suppressed rule IDs. A directive covers
+	// its own line and the next one, so both trailing and
+	// line-above placements work.
+	byLine map[string]map[int]map[string]bool
+	// malformed collects directives missing their mandatory reason.
+	malformed []Diagnostic
+}
+
+// covers reports whether the diagnostic is suppressed.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byLine[d.File]
+	if lines == nil {
+		return false
+	}
+	rules := lines[d.Line]
+	return rules != nil && (rules[d.Rule] || rules["*"])
+}
+
+// collectSuppressions scans a package's comments for directives.
+func collectSuppressions(p *Pass) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		// Function-doc directives cover the whole function body.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				rules, ok := s.parse(p, c)
+				if !ok {
+					continue
+				}
+				file, from, _ := p.position(fn.Body.Pos())
+				_, to, _ := p.position(fn.Body.End())
+				for line := from; line <= to; line++ {
+					s.mark(file, line, rules)
+				}
+			}
+		}
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				rules, ok := s.parse(p, c)
+				if !ok {
+					continue
+				}
+				file, line, _ := p.position(c.Pos())
+				s.mark(file, line, rules)
+				s.mark(file, line+1, rules)
+			}
+		}
+	}
+	return s
+}
+
+// parse extracts the rule list of one directive comment, recording a
+// "suppression" finding when the mandatory reason is missing.
+func (s *suppressions) parse(p *Pass, c *ast.Comment) ([]string, bool) {
+	text := strings.TrimSpace(c.Text)
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	spec, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		s.malformed = append(s.malformed, p.diag("suppression", c.Pos(),
+			"suppression without a reason: write %s <rule> -- <why this site is exempt>", ignorePrefix))
+		// The directive still suppresses; the malformed finding is the
+		// enforcement, and double-reporting the original rule would
+		// punish the site twice for one mistake.
+	}
+	var rules []string
+	for _, r := range strings.Split(spec, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, false
+	}
+	return rules, true
+}
+
+func (s *suppressions) mark(file string, line int, rules []string) {
+	lines := s.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, r := range rules {
+		set[r] = true
+	}
+}

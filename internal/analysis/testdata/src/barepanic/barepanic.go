@@ -1,0 +1,21 @@
+// Package barepanic is the golden fixture for the barepanic rule:
+// library code returns errors.
+package barepanic
+
+import "errors"
+
+// Explode panics instead of returning the error it already has.
+func Explode(ok bool) error {
+	if !ok {
+		panic("boom") // want "bare panic"
+	}
+	return nil
+}
+
+// MustExplode documents its panic in the name — the sanctioned idiom
+// for fixture constructors.
+func MustExplode(ok bool) {
+	if !ok {
+		panic(errors.New("boom"))
+	}
+}

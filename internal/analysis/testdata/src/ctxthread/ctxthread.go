@@ -1,0 +1,39 @@
+// Package ctxthread is the golden fixture for the ctxthread rule:
+// exported entry points must thread context.Context to *Ctx APIs and,
+// in guarantee-chain packages, to blocking I/O.
+package ctxthread
+
+import (
+	"context"
+	"os"
+)
+
+// SolveCtx is the context-threaded API surface.
+func SolveCtx(ctx context.Context, n int) int { return n }
+
+// Broken forwards to a *Ctx API without accepting a context itself.
+func Broken(n int) int {
+	return SolveCtx(nil, n) // want "calls SolveCtx without"
+}
+
+// Shim passes an explicit no-context — the documented exemption for
+// edges that genuinely have none.
+func Shim(n int) int {
+	return SolveCtx(context.Background(), n)
+}
+
+// Drive threads its own context through: fine.
+func Drive(ctx context.Context, n int) int {
+	return SolveCtx(ctx, n)
+}
+
+// Slurp does blocking I/O from an exported context-less function.
+func Slurp(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "blocking I/O"
+}
+
+// NewStore is a constructor: construction and teardown run at the
+// pipeline edges and are exempt from the I/O clause.
+func NewStore(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

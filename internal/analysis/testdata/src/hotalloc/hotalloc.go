@@ -1,0 +1,47 @@
+// Package hotalloc is the golden fixture for the hotalloc rule:
+// allocation sources inside //relint:hot solver loops.
+package hotalloc
+
+import "fmt"
+
+type item struct{ v, d int }
+
+// SolveSimplexCtx is a declared hot function with no annotated loop:
+// the rule demands the annotation so hygiene is actually checked.
+func SolveSimplexCtx(xs []int) int { // want "declared hot function"
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// SolveSSPCtx exercises every allocation class inside one hot loop.
+func SolveSSPCtx(xs []int, sink func(interface{})) int {
+	total := 0
+	buf := make([]int, 0, len(xs))
+	//relint:hot
+	for _, x := range xs {
+		it := item{v: x}                // want "composite literal"
+		f := func() int { return it.v } // want "closure"
+		buf = append(buf, f())          // want "append inside a hot loop"
+		fmt.Sprint(x)                   // want "fmt.Sprint"
+		sink(x)                         // want "boxes it"
+		total += x
+	}
+	return total + len(buf)
+}
+
+// Drain shows the return-statement exemption: one-shot exits do not
+// run per iteration, so the append below is not flagged.
+func Drain(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	//relint:hot
+	for i, x := range xs {
+		if x < 0 {
+			return append(out, i)
+		}
+		out = out[:i]
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package journalfirst is the golden fixture for the journalfirst
+// rule: the write-ahead contract of internal/queue.
+package journalfirst
+
+type record struct {
+	ID string
+}
+
+type journal struct{}
+
+func (journal) append(r record) error { return nil }
+
+// Queue mirrors the shape of queue.Queue: a journal handle, replayed
+// state (nextID, jobs), and exempt infrastructure (counts).
+type Queue struct {
+	j      journal
+	nextID int
+	counts int
+	jobs   map[string]record
+}
+
+// EnqueueBad mutates replayed state before the journal append: a crash
+// between the two lines leaves memory ahead of the journal.
+func (q *Queue) EnqueueBad(id string) error {
+	q.nextID++ // want "before the journal append"
+	q.counts++ // metrics counters are never replayed: exempt
+	rec := record{ID: id}
+	if err := q.j.append(rec); err != nil {
+		return err
+	}
+	q.jobs[id] = rec
+	return nil
+}
+
+// EnqueueGood is the sanctioned idiom: compute into locals, append the
+// record built from them, then mutate.
+func (q *Queue) EnqueueGood(id string) error {
+	nextID := q.nextID + 1
+	rec := record{ID: id}
+	if err := q.j.append(rec); err != nil {
+		return err
+	}
+	q.nextID = nextID
+	q.jobs[id] = rec
+	return nil
+}
+
+// Submit reaches the journal through an append-like callee; mutating
+// first is the same crash window one call deeper.
+func (q *Queue) Submit(id string) error {
+	q.nextID++ // want "before the journal append"
+	return q.EnqueueGood(id)
+}
+
+// retire journals a termination record for a job handle passed by
+// pointer: handles into shared state are tainted like the receiver.
+func (q *Queue) retire(jb *record, cause string) error {
+	jb.ID = cause // want "before the journal append"
+	return q.j.append(*jb)
+}

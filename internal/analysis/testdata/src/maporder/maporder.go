@@ -1,0 +1,68 @@
+// Package maporder is the golden fixture for the maporder rule:
+// ordered work driven by randomized map iteration.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// lpSink mimics the difference-constraint LP builder whose insertion
+// order decides the dual network's arc order.
+type lpSink struct{}
+
+func (lpSink) Bound(v, lo, hi int) {}
+
+type graph struct {
+	mirrorOf map[int]int
+}
+
+// PR5 replays the PR 5 determinism bug: bound insertion ordered by map
+// iteration, which randomized the simplex pivot path across -j levels.
+func PR5(g graph) {
+	var lp lpSink
+	for _, m := range g.mirrorOf {
+		lp.Bound(m, -1, 0) // want "order-sensitive sink"
+	}
+}
+
+// CollectUnsorted builds a slice in randomized order and returns it as-is.
+func CollectUnsorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k) // want "order-dependent slice"
+	}
+	return out
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom: the append
+// is unordered, the sort after the loop restores determinism.
+func CollectSorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump writes output lines in randomized order.
+func Dump(set map[string]int) {
+	for k, v := range set {
+		fmt.Printf("%s=%d\n", k, v) // want "randomized order"
+	}
+}
+
+// PerKey appends only to a slice declared inside the loop body — fresh
+// per iteration, so order cannot leak out.
+func PerKey(set map[string][]int) map[string]int {
+	counts := make(map[string]int)
+	for k, vs := range set {
+		local := []int{}
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		counts[k] = len(local)
+	}
+	return counts
+}

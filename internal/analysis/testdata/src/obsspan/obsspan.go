@@ -1,0 +1,56 @@
+// Package obsspan is the golden fixture for the obsspan rule: a span
+// started with obs.StartSpan needs a deferred End in its function.
+// The obs variable below mimics the repo's obs package — the rule's
+// matching is syntactic on the obs.StartSpan spelling.
+package obsspan
+
+import "context"
+
+type span struct{}
+
+func (*span) End() {}
+
+type tracer struct{}
+
+func (tracer) StartSpan(ctx context.Context, name string) (*span, context.Context) {
+	return &span{}, ctx
+}
+
+var obs tracer
+
+// Leaky starts a span and never defers its End: a new early return
+// would leak it.
+func Leaky(ctx context.Context) {
+	sp, _ := obs.StartSpan(ctx, "leaky") // want "no deferred End"
+	_ = sp
+}
+
+// Covered has the deferred safety net plus a valid explicit early End
+// (End is first-call-wins idempotent).
+func Covered(ctx context.Context) {
+	sp, ctx2 := obs.StartSpan(ctx, "covered")
+	defer sp.End()
+	_ = ctx2
+	sp.End()
+}
+
+// Closure defers End through a function literal: also fine.
+func Closure(ctx context.Context) {
+	sp, _ := obs.StartSpan(ctx, "closure")
+	defer func() { sp.End() }()
+}
+
+// Discarded spans (blank identifier) are deliberate and skipped.
+func Discarded(ctx context.Context) {
+	_, ctx2 := obs.StartSpan(ctx, "discard")
+	_ = ctx2
+}
+
+// Nested function literals are separate scopes: the goroutine's span
+// needs its own defer, and not having one is flagged there.
+func Nested(ctx context.Context) {
+	go func() {
+		sp, _ := obs.StartSpan(ctx, "inner") // want "no deferred End"
+		_ = sp
+	}()
+}

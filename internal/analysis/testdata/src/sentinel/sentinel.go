@@ -1,0 +1,26 @@
+// Package sentinel is the golden fixture for the sentinel rule: errors
+// returned from guarantee-chain packages wrap a declared sentinel.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the declared sentinel — package-level errors.New is the
+// sentinel declaration itself and is fine.
+var ErrBad = errors.New("bad input")
+
+// Check mixes the two violation shapes with the correct idiom.
+func Check(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want "errors.New at a return site"
+	}
+	if n > 100 {
+		return fmt.Errorf("too big: %d", n) // want "without %w at a return site"
+	}
+	if n == 13 {
+		return fmt.Errorf("sentinel: %w: unlucky %d", ErrBad, n)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package stderr is the golden fixture for the stderr rule: library
+// code does not write to os.Stderr directly.
+package stderr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report writes progress straight to stderr from library code.
+func Report(msg string) {
+	fmt.Fprintf(os.Stderr, "relint: %s\n", msg) // want "os.Stderr directly"
+}
+
+// Render writes to a caller-supplied writer: fine.
+func Render(sb *strings.Builder, msg string) {
+	fmt.Fprintln(sb, msg)
+}

@@ -1,0 +1,27 @@
+// Package suppress exercises the directive machinery; the tests run it
+// under the barepanic rule.
+package suppress
+
+// Silenced has an audited, reasoned line suppression: no finding.
+func Silenced() {
+	panic("audited") //relint:ignore barepanic -- fixture: audited panic with a written reason
+}
+
+//relint:ignore barepanic -- doc-comment directives cover the whole body
+func DocSilenced(ok bool) {
+	if !ok {
+		panic("covered by the doc directive")
+	}
+}
+
+// Unreasoned's directive is missing the mandatory reason: the panic
+// stays suppressed, but the directive itself becomes a finding of the
+// pseudo-rule "suppression".
+func Unreasoned() {
+	panic("no reason") //relint:ignore barepanic
+}
+
+// Loud is not suppressed at all.
+func Loud() {
+	panic("loud")
+}

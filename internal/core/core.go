@@ -179,7 +179,7 @@ func Retime(c *netlist.Circuit, opt Options, approach Approach) (*Result, error)
 func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Approach) (*Result, error) {
 	start := time.Now()
 	if c == nil {
-		return nil, fmt.Errorf("core: nil circuit")
+		return nil, fmt.Errorf("core: %w: nil circuit", ErrBadInput)
 	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
@@ -230,6 +230,7 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	// fingerprint, so any in-place corruption is caught.
 	shape := cert.Snapshot(c)
 	bsp, _ := obs.StartSpan(ctx, "rgraph.build")
+	defer bsp.End()
 	g, err := rgraph.Build(c, optTiming, cfg)
 	if err != nil {
 		bsp.Fail(err)
@@ -335,7 +336,7 @@ func Evaluate(c *netlist.Circuit, opt Options, p *netlist.Placement) (*Result, e
 // smuggle in wrong ED assignments or areas.
 func EvaluateCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Approach, p *netlist.Placement) (*Result, error) {
 	if c == nil {
-		return nil, fmt.Errorf("core: nil circuit")
+		return nil, fmt.Errorf("core: %w: nil circuit", ErrBadInput)
 	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,10 @@
+package core
+
+import "errors"
+
+// ErrBadInput classifies caller mistakes at the pipeline's orchestration
+// layer: nil circuits, results without placements, option combinations a
+// given entry point cannot honor. Call sites wrap it with
+// fmt.Errorf("core: %w: ...", ErrBadInput) so callers separate bad input
+// from solver and certification failures with errors.Is.
+var ErrBadInput = errors.New("invalid retiming input")

@@ -45,7 +45,7 @@ func MinPeriod(c *netlist.Circuit, edlCost float64, approach Approach, tol float
 		}
 	}
 	if worst <= 0 {
-		return nil, fmt.Errorf("core: circuit has no combinational delay")
+		return nil, fmt.Errorf("core: %w: circuit has no combinational delay", ErrBadInput)
 	}
 
 	solveAt := func(p float64) (*Result, error) {

@@ -20,7 +20,7 @@ import (
 // error-detecting set.
 func ReclaimBySizing(res *Result, maxIter int) (*Result, synth.CompileResult, error) {
 	if res.Placement == nil {
-		return nil, synth.CompileResult{}, fmt.Errorf("core: result carries no placement")
+		return nil, synth.CompileResult{}, fmt.Errorf("core: %w: result carries no placement", ErrBadInput)
 	}
 	c := res.Circuit.Clone()
 	opt := res.Options

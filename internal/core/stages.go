@@ -103,7 +103,7 @@ func RetimeByComponents(c *netlist.Circuit, opt Options, approach Approach) (*Re
 		return nil, err
 	}
 	if opt.FixedDelays != nil {
-		return nil, fmt.Errorf("core: RetimeByComponents does not support fixed delays (node IDs are remapped)")
+		return nil, fmt.Errorf("core: %w: RetimeByComponents does not support fixed delays (node IDs are remapped)", ErrBadInput)
 	}
 	comps := Components(c)
 	merged := netlist.NewPlacement()

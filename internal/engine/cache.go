@@ -206,6 +206,7 @@ func (c *Cache) miss(sp *obs.Span) {
 
 // obsCacheSpan opens the engine.cache span all cache traffic reports on.
 func obsCacheSpan(ctx context.Context, key Key) (*obs.Span, context.Context) {
+	//relint:ignore obsspan -- the span is returned to the caller, which owns the deferred End
 	sp, ctx := obs.StartSpan(ctx, "engine.cache")
 	sp.Attr("key", key.Short())
 	return sp, ctx
@@ -228,15 +229,15 @@ func (c *Cache) Probe(ctx context.Context, key Key, job Job) (*Outcome, error) {
 		return nil, fmt.Errorf("engine: cache entry %s: %w", key.Short(), err)
 	}
 	if e.SchemaVersion != entrySchemaVersion {
-		return nil, fmt.Errorf("engine: cache entry %s: schema %d, want %d",
-			key.Short(), e.SchemaVersion, entrySchemaVersion)
+		return nil, fmt.Errorf("engine: %w: entry %s: schema %d, want %d",
+			ErrCacheInvalid, key.Short(), e.SchemaVersion, entrySchemaVersion)
 	}
 	if e.Key != key.String() {
-		return nil, fmt.Errorf("engine: cache entry %s: claims key %s", key.Short(), e.Key)
+		return nil, fmt.Errorf("engine: %w: entry %s: claims key %s", ErrCacheInvalid, key.Short(), e.Key)
 	}
 	if e.Approach != string(job.Approach) {
-		return nil, fmt.Errorf("engine: cache entry %s: approach %q, want %q",
-			key.Short(), e.Approach, job.Approach)
+		return nil, fmt.Errorf("engine: %w: entry %s: approach %q, want %q",
+			ErrCacheInvalid, key.Short(), e.Approach, job.Approach)
 	}
 	return c.restore(ctx, key, job, &e)
 }
@@ -340,7 +341,7 @@ func encodeEntry(key Key, job Job, out *Outcome) (*entry, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("engine: outcome for %s has no result", key.Short())
+		return nil, fmt.Errorf("engine: %w: outcome for %s has no result", ErrCacheInvalid, key.Short())
 	}
 	return e, nil
 }
@@ -379,16 +380,16 @@ func (c *Cache) restoreCore(ctx context.Context, job Job, e *entry, p *netlist.P
 		return fmt.Errorf("engine: cache entry %s: %w", out.Key.Short(), err)
 	}
 	if res.SlaveCount != e.Slaves || res.MasterCount != e.Masters || res.EDCount != e.ED {
-		return fmt.Errorf("engine: cache entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
-			out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
+		return fmt.Errorf("engine: %w: entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
+			ErrCacheInvalid, out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
 	}
 	if math.Abs(res.SeqArea-e.SeqArea) > claimEpsilon {
-		return fmt.Errorf("engine: cache entry %s: claims seq area %g, re-derived %g",
-			out.Key.Short(), e.SeqArea, res.SeqArea)
+		return fmt.Errorf("engine: %w: entry %s: claims seq area %g, re-derived %g",
+			ErrCacheInvalid, out.Key.Short(), e.SeqArea, res.SeqArea)
 	}
 	if !sameIDSet(res.EDMasters, e.EDMasters) {
-		return fmt.Errorf("engine: cache entry %s: ED-master claim diverges from re-derived set",
-			out.Key.Short())
+		return fmt.Errorf("engine: %w: entry %s: ED-master claim diverges from re-derived set",
+			ErrCacheInvalid, out.Key.Short())
 	}
 	res.Reclaimed = idSet(e.Reclaimed)
 	res.Objective = e.Objective
@@ -403,7 +404,7 @@ func (c *Cache) restoreCore(ctx context.Context, job Job, e *entry, p *netlist.P
 		for k, v := range e.Classes {
 			n, perr := strconv.Atoi(k)
 			if perr != nil {
-				return fmt.Errorf("engine: cache entry %s: bad class %q", out.Key.Short(), k)
+				return fmt.Errorf("engine: %w: entry %s: bad class %q", ErrCacheInvalid, out.Key.Short(), k)
 			}
 			res.Classes[rgraph.TargetClass(n)] = v
 		}
@@ -442,15 +443,15 @@ func (c *Cache) restoreVLib(ctx context.Context, job Job, e *entry, p *netlist.P
 	lib := clone.Lib
 	for _, rs := range e.Resized {
 		if rs.ID < 0 || rs.ID >= len(clone.Nodes) {
-			return fmt.Errorf("engine: cache entry %s: resize of unknown node %d", out.Key.Short(), rs.ID)
+			return fmt.Errorf("engine: %w: entry %s: resize of unknown node %d", ErrCacheInvalid, out.Key.Short(), rs.ID)
 		}
 		n := clone.Nodes[rs.ID]
 		cl, ok := lib.ByName(rs.Cell)
 		if !ok {
-			return fmt.Errorf("engine: cache entry %s: resize to unknown cell %q", out.Key.Short(), rs.Cell)
+			return fmt.Errorf("engine: %w: entry %s: resize to unknown cell %q", ErrCacheInvalid, out.Key.Short(), rs.Cell)
 		}
 		if n.Cell == nil {
-			return fmt.Errorf("engine: cache entry %s: resize of non-gate node %d", out.Key.Short(), rs.ID)
+			return fmt.Errorf("engine: %w: entry %s: resize of non-gate node %d", ErrCacheInvalid, out.Key.Short(), rs.ID)
 		}
 		n.Cell = cl
 	}
@@ -471,13 +472,13 @@ func (c *Cache) restoreVLib(ctx context.Context, job Job, e *entry, p *netlist.P
 		Upsized:     e.Upsized,
 	}
 	if res.SlaveCount != e.Slaves || res.MasterCount != e.Masters || res.EDCount != e.ED {
-		return fmt.Errorf("engine: cache entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
-			out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
+		return fmt.Errorf("engine: %w: entry %s: claims %d/%d/%d latches, re-derived %d/%d/%d",
+			ErrCacheInvalid, out.Key.Short(), e.Slaves, e.Masters, e.ED, res.SlaveCount, res.MasterCount, res.EDCount)
 	}
 	res.SeqArea = cell.SeqAreaOf(lib, job.Options.EDLCost, res.SlaveCount, res.MasterCount, res.EDCount)
 	if math.Abs(res.SeqArea-e.SeqArea) > claimEpsilon {
-		return fmt.Errorf("engine: cache entry %s: claims seq area %g, re-derived %g",
-			out.Key.Short(), e.SeqArea, res.SeqArea)
+		return fmt.Errorf("engine: %w: entry %s: claims seq area %g, re-derived %g",
+			ErrCacheInvalid, out.Key.Short(), e.SeqArea, res.SeqArea)
 	}
 	res.CombArea = clone.CombArea()
 	res.TotalArea = res.SeqArea + res.CombArea
@@ -526,13 +527,13 @@ func decodePlacement(c *netlist.Circuit, e *entry) (*netlist.Placement, error) {
 	p := netlist.NewPlacement()
 	for _, id := range e.AtInput {
 		if id < 0 || id >= len(c.Nodes) {
-			return nil, fmt.Errorf("engine: cache entry: latch at unknown input %d", id)
+			return nil, fmt.Errorf("engine: %w: latch at unknown input %d", ErrCacheInvalid, id)
 		}
 		p.AtInput[id] = true
 	}
 	for _, fe := range e.OnEdge {
 		if fe[0] < 0 || fe[0] >= len(c.Nodes) || fe[1] < 0 || fe[1] >= len(c.Nodes) {
-			return nil, fmt.Errorf("engine: cache entry: latch on unknown edge %d->%d", fe[0], fe[1])
+			return nil, fmt.Errorf("engine: %w: latch on unknown edge %d->%d", ErrCacheInvalid, fe[0], fe[1])
 		}
 		p.OnEdge[netlist.Edge{From: fe[0], To: fe[1]}] = true
 	}

@@ -85,7 +85,7 @@ type Durable struct {
 // The caller must Close it before closing the queue or engine.
 func NewDurable(cfg DurableConfig) (*Durable, error) {
 	if cfg.Engine == nil || cfg.Queue == nil {
-		return nil, fmt.Errorf("engine: durable layer needs an engine and a queue")
+		return nil, fmt.Errorf("engine: %w: durable layer needs an engine and a queue", ErrBadConfig)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = cap(cfg.Engine.sem)

@@ -333,7 +333,7 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: closed")
+		return nil, fmt.Errorf("engine: %w", ErrClosed)
 	}
 	e.nextID++
 	t := &Ticket{
@@ -377,6 +377,7 @@ func (e *Engine) run(ctx context.Context, t *Ticket, job Job, key Key) {
 	defer stopWatch()
 
 	sp, jobCtx := obs.StartSpan(jobCtx, "engine.job")
+	defer sp.End()
 	sp.Attr("id", t.ID)
 	sp.Attr("key", key.Short())
 	sp.Attr("approach", string(job.Approach))

@@ -58,7 +58,7 @@ func ParseApproach(s string) (Approach, error) {
 	case "rvl", "rvl-rar":
 		return RVL, nil
 	}
-	return "", fmt.Errorf("engine: unknown approach %q (want grar, base, nvl, evl or rvl)", s)
+	return "", fmt.Errorf("engine: %w: unknown approach %q (want grar, base, nvl, evl or rvl)", ErrBadJob, s)
 }
 
 // IsVLib reports whether the approach runs the virtual-library flow.
@@ -130,22 +130,22 @@ func (k Key) Short() string { return k.String()[:12] }
 // content-addressed.
 func (j Job) canonical() (Job, error) {
 	if j.Circuit == nil {
-		return Job{}, fmt.Errorf("engine: job has no circuit")
+		return Job{}, fmt.Errorf("engine: %w: job has no circuit", ErrBadJob)
 	}
 	if j.Circuit.Lib == nil {
-		return Job{}, fmt.Errorf("engine: job circuit %q has no library", j.Circuit.Name)
+		return Job{}, fmt.Errorf("engine: %w: job circuit %q has no library", ErrBadJob, j.Circuit.Name)
 	}
 	if _, err := ParseApproach(string(j.Approach)); err != nil {
 		return Job{}, err
 	}
 	if j.Options.StaOverride != nil {
-		return Job{}, fmt.Errorf("engine: jobs with StaOverride cannot be content-addressed")
+		return Job{}, fmt.Errorf("engine: %w: jobs with StaOverride cannot be content-addressed", ErrBadJob)
 	}
 	if j.Options.FixedDelays != nil {
 		// The fixed-delay model exists for the worked example and tests;
 		// its delay map is keyed by node ID, which the cache restore
 		// path cannot re-derive. Keep such runs on the direct API.
-		return Job{}, fmt.Errorf("engine: fixed-delay jobs are not supported")
+		return Job{}, fmt.Errorf("engine: %w: fixed-delay jobs are not supported", ErrBadJob)
 	}
 	if err := j.Options.Scheme.Validate(); err != nil {
 		return Job{}, err

@@ -56,7 +56,7 @@ type Server struct {
 // NewServer builds the HTTP frontend over a durable layer.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Durable == nil {
-		return nil, fmt.Errorf("engine: server needs a durable layer")
+		return nil, fmt.Errorf("engine: %w: server needs a durable layer", ErrBadConfig)
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DiscardLogger()
@@ -296,11 +296,11 @@ func BuildJob(req JobRequest) (Job, error) {
 	)
 	switch {
 	case req.Bench != "" && req.Verilog != "":
-		return Job{}, fmt.Errorf("engine: request has both bench and verilog")
+		return Job{}, fmt.Errorf("engine: %w: request has both bench and verilog", ErrBadRequest)
 	case req.Bench != "":
 		prof, ok := bench.ProfileByName(req.Bench)
 		if !ok {
-			return Job{}, fmt.Errorf("engine: unknown benchmark %q", req.Bench)
+			return Job{}, fmt.Errorf("engine: %w: unknown benchmark %q", ErrBadRequest, req.Bench)
 		}
 		seq, err := prof.BuildSeq(lib)
 		if err != nil {
@@ -321,7 +321,7 @@ func BuildJob(req JobRequest) (Job, error) {
 		}
 		scheme = bench.SchemeFor(c, sta.DefaultOptions(lib))
 	default:
-		return Job{}, fmt.Errorf("engine: request needs bench or verilog")
+		return Job{}, fmt.Errorf("engine: %w: request needs bench or verilog", ErrBadRequest)
 	}
 	job := Job{
 		Circuit:  c,

@@ -43,7 +43,7 @@ func ParseMethod(s string) (Method, error) {
 	case "ssp":
 		return MethodSSP, nil
 	}
-	return MethodAuto, fmt.Errorf("flow: unknown method %q (want auto, simplex or ssp)", s)
+	return MethodAuto, fmt.Errorf("flow: %w %q (want auto, simplex or ssp)", ErrBadMethod, s)
 }
 
 // DiffLP is an integer linear program over difference constraints:
@@ -230,6 +230,7 @@ func (l *DiffLP) SolveCtx(ctx context.Context, method Method) (*Result, error) {
 func (l *DiffLP) checkFeasible(r []int64) error {
 	for _, c := range l.cons {
 		if r[c.u]-r[c.v] > c.c {
+			//relint:ignore sentinel -- detail string embedded in the ErrNotCertified wrap at the only call site
 			return fmt.Errorf("r(%d)−r(%d) = %d > %d", c.u, c.v, r[c.u]-r[c.v], c.c)
 		}
 	}

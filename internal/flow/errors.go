@@ -31,4 +31,10 @@ var (
 	// ErrOverflow: costs or demands are large enough that the solvers'
 	// int64 arithmetic (big-M bases, saturation supplies) could overflow.
 	ErrOverflow = errors.New("magnitude overflow")
+	// ErrBadMethod: an unrecognized solver-method name (ParseMethod).
+	ErrBadMethod = errors.New("unknown method")
+	// ErrInternal: a solver produced a solution that fails its own
+	// verification (conservation, capacities, cost bookkeeping). Always a
+	// bug in this package, never a property of the input.
+	ErrInternal = errors.New("internal solver inconsistency")
 )

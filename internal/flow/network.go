@@ -156,14 +156,14 @@ type Solution struct {
 // a candidate solution; used by tests and as a cheap internal safeguard.
 func (nw *Network) verify(s *Solution) error {
 	if len(s.Flow) != len(nw.arcs) {
-		return fmt.Errorf("flow: solution has %d flows for %d arcs", len(s.Flow), len(nw.arcs))
+		return fmt.Errorf("flow: %w: solution has %d flows for %d arcs", ErrInternal, len(s.Flow), len(nw.arcs))
 	}
 	bal := make([]int64, nw.n)
 	var cost int64
 	for i, a := range nw.arcs {
 		x := s.Flow[i]
 		if x < 0 || x > a.Cap {
-			return fmt.Errorf("flow: arc %d flow %d outside [0,%d]", i, x, a.Cap)
+			return fmt.Errorf("flow: %w: arc %d flow %d outside [0,%d]", ErrInternal, i, x, a.Cap)
 		}
 		bal[a.To] += x
 		bal[a.From] -= x
@@ -171,11 +171,11 @@ func (nw *Network) verify(s *Solution) error {
 	}
 	for v := 0; v < nw.n; v++ {
 		if bal[v] != nw.demand[v] {
-			return fmt.Errorf("flow: node %d balance %d, want %d", v, bal[v], nw.demand[v])
+			return fmt.Errorf("flow: %w: node %d balance %d, want %d", ErrInternal, v, bal[v], nw.demand[v])
 		}
 	}
 	if cost != s.Cost {
-		return fmt.Errorf("flow: cost %d does not match flows (%d)", s.Cost, cost)
+		return fmt.Errorf("flow: %w: cost %d does not match flows (%d)", ErrInternal, s.Cost, cost)
 	}
 	return nil
 }

@@ -132,6 +132,31 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err erro
 		maxPivots = nw.pivotLimit
 	}
 
+	// Residual capacity of a tree step, pushing from node w to its
+	// parent (up=true) or from the parent into w (up=false). Hoisted out
+	// of the pivot loop: a closure literal there would allocate every
+	// pivot. It reads arcs/flow/parentArc through the captured slice
+	// headers, which never change identity after this point.
+	stepResidual := func(w int, up bool) int64 {
+		ai := parentArc[w]
+		a := arcs[ai]
+		aligned := (a.from == w) == up
+		if aligned {
+			if a.cap == Unbounded {
+				return Unbounded
+			}
+			return a.cap - flow[ai]
+		}
+		return flow[ai]
+	}
+
+	// Scratch buffers for the tree surgery, reused across pivots with
+	// [:0] resets: the backing arrays grow to the longest re-hang chain
+	// seen and then the loop runs allocation-free (alloc_test.go holds
+	// the measured baseline).
+	var chain, oldArcs, stack []int
+
+	//relint:hot
 	for pivots := 0; ; pivots++ {
 		pivotCount = pivots
 		if pivots > maxPivots {
@@ -209,20 +234,6 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err erro
 		leaving := entering
 
 		x, y := v, u
-		// Residual capacity of a tree step, pushing from node w to its
-		// parent (up=true) or from the parent into w (up=false).
-		stepResidual := func(w int, up bool) int64 {
-			ai := parentArc[w]
-			a := arcs[ai]
-			aligned := (a.from == w) == up
-			if aligned {
-				if a.cap == Unbounded {
-					return Unbounded
-				}
-				return a.cap - flow[ai]
-			}
-			return flow[ai]
-		}
 		for x != y {
 			if depth[x] >= depth[y] {
 				if r := stepResidual(x, true); r < delta {
@@ -304,16 +315,16 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err erro
 			p, q = q, p
 		}
 		// Re-root the detached subtree at p by reversing the chain p→yl.
-		var chain []int
+		chain = chain[:0]
 		for w := p; ; w = parent[w] {
 			chain = append(chain, w)
 			if w == yl {
 				break
 			}
 		}
-		oldArcs := make([]int, len(chain)-1)
+		oldArcs = oldArcs[:0]
 		for i := 0; i+1 < len(chain); i++ {
-			oldArcs[i] = parentArc[chain[i]]
+			oldArcs = append(oldArcs, parentArc[chain[i]])
 			removeChild(chain[i+1], chain[i])
 		}
 		for i := 0; i+1 < len(chain); i++ {
@@ -327,7 +338,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err erro
 		state[entering] = inTree
 
 		// Refresh depth and potentials over the re-hung subtree.
-		stack := []int{p}
+		stack = append(stack[:0], p)
 		for len(stack) > 0 {
 			w := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -356,7 +367,7 @@ func (nw *Network) SolveSimplexCtx(ctx context.Context) (sol *Solution, err erro
 		sol.Cost += nw.arcs[i].Cost * flow[i]
 	}
 	if err := nw.verify(sol); err != nil {
-		return nil, fmt.Errorf("flow: internal: %v", err)
+		return nil, fmt.Errorf("flow: %w", err)
 	}
 	sol.Potential = nw.residualPotentials(sol.Flow, nw.potentialRoot())
 	return sol, nil

@@ -59,6 +59,7 @@ func (nw *Network) SolveMethod(ctx context.Context, method Method) (*Solution, R
 			return nil, err
 		}
 		csp, _ := obs.StartSpan(ctx, "flow.certify")
+		defer csp.End()
 		err = nw.Certify(sol)
 		csp.Fail(err)
 		csp.End()

@@ -1,7 +1,6 @@
 package flow
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -118,7 +117,14 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (sol *Solution, err error) {
 	dist := make([]int64, n)
 	parent := make([]int, n)
 
+	// The priority queue is a typed binary heap hoisted out of the
+	// augmentation loop and reset with [:0] each round: container/heap
+	// would box every pqItem through its interface{} Push/Pop (one heap
+	// allocation per queue operation), which alloc_test.go's baseline
+	// forbids on this path.
+	var pq sspHeap
 	var sent int64
+	//relint:hot
 	for sent < total {
 		augmentingPaths++
 		select {
@@ -132,10 +138,10 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (sol *Solution, err error) {
 			parent[v] = -1
 		}
 		dist[s] = 0
-		pq := &sspHeap{}
-		heap.Push(pq, pqItem{v: s, d: 0})
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(pqItem)
+		pq = pq[:0]
+		pq.push(s, 0)
+		for len(pq) > 0 {
+			it := pq.pop()
 			if it.d > dist[it.v] {
 				continue
 			}
@@ -148,7 +154,7 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (sol *Solution, err error) {
 				if nd := it.d + rc; nd < dist[a.to] {
 					dist[a.to] = nd
 					parent[a.to] = ai
-					heap.Push(pq, pqItem{v: a.to, d: nd})
+					pq.push(a.to, nd)
 				}
 			}
 		}
@@ -191,7 +197,7 @@ func (nw *Network) SolveSSPCtx(ctx context.Context) (sol *Solution, err error) {
 		sol.Cost += a.Cost * x
 	}
 	if err := nw.verify(sol); err != nil {
-		return nil, fmt.Errorf("flow: internal: %v", err)
+		return nil, fmt.Errorf("flow: %w", err)
 	}
 	sol.Potential = nw.residualPotentials(sol.Flow, nw.potentialRoot())
 	return sol, nil
@@ -207,16 +213,46 @@ type pqItem struct {
 	d int64
 }
 
+// sspHeap is a min-heap on pqItem.d with concrete-typed push/pop —
+// deliberately not a container/heap implementation, whose interface{}
+// Push/Pop would box every item (see the hot-loop comment in
+// SolveSSPCtx).
 type sspHeap []pqItem
 
-func (h sspHeap) Len() int            { return len(h) }
-func (h sspHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h sspHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *sspHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *sspHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *sspHeap) push(v int, d int64) {
+	*h = append(*h, pqItem{v: v, d: d})
+	hp := *h
+	for i := len(hp) - 1; i > 0; {
+		p := (i - 1) / 2
+		if hp[p].d <= hp[i].d {
+			break
+		}
+		hp[p], hp[i] = hp[i], hp[p]
+		i = p
+	}
+}
+
+func (h *sspHeap) pop() pqItem {
+	hp := *h
+	it := hp[0]
+	n := len(hp) - 1
+	hp[0] = hp[n]
+	hp = hp[:n]
+	*h = hp
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && hp[l].d < hp[small].d {
+			small = l
+		}
+		if r < n && hp[r].d < hp[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hp[i], hp[small] = hp[small], hp[i]
+		i = small
+	}
 	return it
 }

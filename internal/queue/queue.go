@@ -53,6 +53,9 @@ var (
 	ErrCrashed = errors.New("queue crashed")
 	// ErrNoJob rejects transitions on unknown job IDs.
 	ErrNoJob = errors.New("no such job")
+	// ErrLocked rejects opening a queue directory that another live
+	// process (or this one) already owns.
+	ErrLocked = errors.New("queue dir locked")
 )
 
 // State is a job's position in the queue lifecycle.
@@ -264,7 +267,7 @@ func Open(cfg Config) (*Queue, error) {
 		q.counts.Recovered++
 		cfg.Metrics.Add(`relatch_queue_jobs_total{event="recovered"}`, 1)
 		if jb.Attempts >= jb.MaxAttempts {
-			if err := q.markDeadLocked(jb, jb.LastError); err != nil {
+			if err := q.markDeadLocked(jb, jb.Attempts, jb.LastError); err != nil {
 				q.closeLocked()
 				return nil, err
 			}
@@ -418,6 +421,7 @@ func (q *Queue) guardLocked() error {
 // poisons the queue: state and disk may diverge, so nothing further is
 // accepted.
 func (q *Queue) appendLocked(r record) error {
+	//relint:ignore journalfirst -- this IS the append primitive: the seq must be assigned before the record carrying it is written, and a failed write poisons the queue (ErrCrashed), so memory and disk can never silently diverge
 	q.nextSeq++
 	r.Seq = q.nextSeq
 	if q.cfg.AppendHook != nil {
@@ -503,9 +507,9 @@ func (q *Queue) Enqueue(key string, payload []byte) (Job, error) {
 		q.cfg.Metrics.Add(`relatch_queue_jobs_total{event="shed"}`, 1)
 		return Job{}, fmt.Errorf("queue: %w: %d live jobs at capacity %d", ErrFull, q.liveLocked(), q.cfg.Capacity)
 	}
-	q.nextID++
+	nextID := q.nextID + 1
 	jb := &job{Job: Job{
-		ID:          fmt.Sprintf("q-%08d", q.nextID),
+		ID:          fmt.Sprintf("q-%08d", nextID),
 		Key:         key,
 		Payload:     append(json.RawMessage(nil), payload...),
 		State:       StateQueued,
@@ -513,14 +517,16 @@ func (q *Queue) Enqueue(key string, payload []byte) (Job, error) {
 		EnqueuedAt:  q.cfg.Clock(),
 	}}
 	// Journal first: the job is owed to the client only once the submit
-	// record is durable, which is why the HTTP 202 may trust it.
+	// record is durable, which is why the HTTP 202 may trust it. The ID
+	// counter is speculative in a local until then, so a failed append
+	// needs no rollback.
 	if err := q.appendLocked(record{
 		Type: "submit", ID: jb.ID, Key: key, Payload: jb.Payload,
 		MaxAttempts: jb.MaxAttempts, EnqueuedNS: jb.EnqueuedAt.UnixNano(),
 	}); err != nil {
-		q.nextID--
 		return Job{}, err
 	}
+	q.nextID = nextID
 	q.jobs[jb.ID] = jb
 	q.order = append(q.order, jb.ID)
 	q.counts.Enqueued++
@@ -547,7 +553,8 @@ func (q *Queue) Lease() (Job, bool, error) {
 		if jb.State != StateQueued || jb.NextRetry.After(now) {
 			continue
 		}
-		q.nextSeq++ // lease tokens ride the sequence space: unique, monotonic
+		//relint:ignore journalfirst -- lease tokens ride the sequence space (unique, monotonic); a burned seq is harmless on its own and a failed append below poisons the queue anyway
+		q.nextSeq++
 		tok := q.nextSeq
 		expiry := now.Add(q.cfg.LeaseTTL)
 		if err := q.appendLocked(record{
@@ -638,24 +645,26 @@ func (q *Queue) Kill(id string, lease uint64, cause error) error {
 	if err != nil {
 		return err
 	}
-	jb.Attempts++
-	return q.markDeadLocked(jb, errString(cause))
+	return q.markDeadLocked(jb, jb.Attempts+1, errString(cause))
 }
 
 // failLocked applies one failed attempt: retry with backoff or dead.
+// The attempt count advances in a local until the fail record is
+// durable (write-ahead contract).
 func (q *Queue) failLocked(jb *job, cause string) error {
-	jb.Attempts++
-	if jb.Attempts >= jb.MaxAttempts {
-		return q.markDeadLocked(jb, cause)
+	attempts := jb.Attempts + 1
+	if attempts >= jb.MaxAttempts {
+		return q.markDeadLocked(jb, attempts, cause)
 	}
-	delay := q.backoff(jb.Attempts)
+	delay := q.backoff(attempts)
 	next := q.cfg.Clock().Add(delay)
 	if err := q.appendLocked(record{
-		Type: "fail", ID: jb.ID, Attempts: jb.Attempts, Error: cause,
+		Type: "fail", ID: jb.ID, Attempts: attempts, Error: cause,
 		NextRetNS: next.UnixNano(),
 	}); err != nil {
 		return err
 	}
+	jb.Attempts = attempts
 	jb.State = StateQueued
 	jb.LastError = cause
 	jb.NextRetry = next
@@ -667,12 +676,15 @@ func (q *Queue) failLocked(jb *job, cause string) error {
 }
 
 // markDeadLocked journals and applies the dead-letter transition.
-func (q *Queue) markDeadLocked(jb *job, cause string) error {
+// attempts is the count the dead record should carry; it lands on the
+// job only after the record is durable (write-ahead contract).
+func (q *Queue) markDeadLocked(jb *job, attempts int, cause string) error {
 	if err := q.appendLocked(record{
-		Type: "dead", ID: jb.ID, Attempts: jb.Attempts, Error: cause,
+		Type: "dead", ID: jb.ID, Attempts: attempts, Error: cause,
 	}); err != nil {
 		return err
 	}
+	jb.Attempts = attempts
 	jb.State = StateDead
 	jb.LastError = cause
 	jb.Lease, jb.LeaseExpiry = 0, time.Time{}
@@ -857,7 +869,7 @@ func acquireLock(dir string) (func(), error) {
 	openDirsMu.Lock()
 	if openDirs[abs] {
 		openDirsMu.Unlock()
-		return nil, fmt.Errorf("queue: %s is already open in this process", dir)
+		return nil, fmt.Errorf("queue: %w: %s is already open in this process", ErrLocked, dir)
 	}
 	openDirs[abs] = true
 	openDirsMu.Unlock()
@@ -889,12 +901,12 @@ func acquireLock(dir string) (func(), error) {
 		pid, _ := strconv.Atoi(strings.TrimSpace(string(raw)))
 		if pid > 0 && pid != os.Getpid() && pidAlive(pid) {
 			release()
-			return nil, fmt.Errorf("queue: %s locked by running process %d", dir, pid)
+			return nil, fmt.Errorf("queue: %w: %s held by running process %d", ErrLocked, dir, pid)
 		}
 		os.Remove(path) // stale lock from a dead process: steal it
 	}
 	release()
-	return nil, fmt.Errorf("queue: could not acquire lock on %s", dir)
+	return nil, fmt.Errorf("queue: %w: could not acquire lock on %s", ErrLocked, dir)
 }
 
 // pidAlive reports whether a process with the pid exists.

@@ -1,0 +1,16 @@
+package rgraph
+
+import "errors"
+
+// Sentinels for the constraint-graph lowering. Call sites wrap them with
+// fmt.Errorf("rgraph: %w: ...", Err...) so callers classify failures
+// with errors.Is across the package boundary.
+var (
+	// ErrBadConfig: the lowering configuration itself is unusable
+	// (non-finite EDL cost factor, invalid scheme).
+	ErrBadConfig = errors.New("invalid lowering config")
+	// ErrUnretimable: the circuit admits no legal two-phase latch
+	// placement at the requested period — a property of the input, not a
+	// solver failure, so retrying with another method cannot help.
+	ErrUnretimable = errors.New("no legal retiming exists")
+)

@@ -154,7 +154,7 @@ func Build(c *netlist.Circuit, t *sta.Timing, cfg Config) (*Graph, error) {
 	// A NaN/Inf/negative c would poison the integer objective coefficient
 	// (cScaled) mid-lowering; reject it before any graph work.
 	if v := cfg.EDLCost; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-		return nil, fmt.Errorf("rgraph: EDL cost factor c = %g, want finite and non-negative", v)
+		return nil, fmt.Errorf("rgraph: %w: EDL cost factor c = %g, want finite and non-negative", ErrBadConfig, v)
 	}
 	g := &Graph{
 		C: c, T: t, Cfg: cfg,
@@ -189,8 +189,8 @@ func (g *Graph) computeRegions() error {
 		inVn := g.T.Df(n) > fwd+eps
 		switch {
 		case inVm && inVn:
-			return fmt.Errorf("rgraph: node %q needs a latch both before and after it (D^f=%.4g, D^b=%.4g); the stage cannot meet P=%.4g",
-				n.Name, g.T.Df(n), dbMax[n.ID], g.Cfg.Scheme.MaxStageDelay())
+			return fmt.Errorf("rgraph: %w: node %q needs a latch both before and after it (D^f=%.4g, D^b=%.4g); the stage cannot meet P=%.4g",
+				ErrUnretimable, n.Name, g.T.Df(n), dbMax[n.ID], g.Cfg.Scheme.MaxStageDelay())
 		case inVm:
 			g.Vm[n.ID] = true
 		case inVn:
@@ -635,6 +635,7 @@ func (g *Graph) SolveCtx(ctx context.Context, method flow.Method) (*Solution, er
 		sol.PseudoFired[id] = res.R[p] == -1
 	}
 	asp, _ := obs.StartSpan(ctx, "placement.apply")
+	defer asp.End()
 	sol.Placement = netlist.FromRetiming(g.C, sol.R)
 	if err := sol.Placement.Validate(g.C); err != nil {
 		asp.Fail(err)

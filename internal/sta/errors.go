@@ -1,0 +1,10 @@
+package sta
+
+import "errors"
+
+// ErrBadInput classifies every way externally supplied material can
+// poison an analysis: unknown timing models, non-finite or negative
+// delays/slews/capacitances, nil or structurally cyclic circuits. Call
+// sites wrap it with fmt.Errorf("sta: %w: ...", ErrBadInput) so callers
+// distinguish bad input from solver failures with errors.Is.
+var ErrBadInput = errors.New("invalid timing input")

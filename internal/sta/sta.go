@@ -76,11 +76,11 @@ func (o Options) Validate() error {
 	switch o.Model {
 	case ModelPath, ModelGate, ModelFixed:
 	default:
-		return fmt.Errorf("sta: unknown timing model %d", int(o.Model))
+		return fmt.Errorf("sta: %w: unknown timing model %d", ErrBadInput, int(o.Model))
 	}
 	check := func(name string, v float64) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-			return fmt.Errorf("sta: %s = %g, want finite and non-negative", name, v)
+			return fmt.Errorf("sta: %w: %s = %g, want finite and non-negative", ErrBadInput, name, v)
 		}
 		return nil
 	}
@@ -96,7 +96,7 @@ func (o Options) Validate() error {
 	}
 	for id, d := range o.FixedDelays {
 		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
-			return fmt.Errorf("sta: fixed delay %g on node %d, want finite and non-negative", d, id)
+			return fmt.Errorf("sta: %w: fixed delay %g on node %d, want finite and non-negative", ErrBadInput, d, id)
 		}
 	}
 	return nil
@@ -135,7 +135,7 @@ type Timing struct {
 // forward pass — the hardened entry point for externally supplied inputs.
 func AnalyzeChecked(c *netlist.Circuit, opt Options) (*Timing, error) {
 	if c == nil {
-		return nil, fmt.Errorf("sta: nil circuit")
+		return nil, fmt.Errorf("sta: %w: nil circuit", ErrBadInput)
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("sta: %w", err)
@@ -379,7 +379,7 @@ func (t *Timing) CriticalPathTo(o *netlist.Node) ([]*netlist.Node, error) {
 	n := o
 	for steps := 0; ; steps++ {
 		if steps > len(t.C.Nodes) {
-			return nil, fmt.Errorf("sta: critical path to %q exceeds %d nodes (fanin cycle?)", o.Name, len(t.C.Nodes))
+			return nil, fmt.Errorf("sta: %w: critical path to %q exceeds %d nodes (fanin cycle?)", ErrBadInput, o.Name, len(t.C.Nodes))
 		}
 		rev = append(rev, n)
 		if n.Kind == netlist.KindInput || len(n.Fanin) == 0 {

@@ -1,0 +1,15 @@
+package vlib
+
+import "errors"
+
+// Sentinels for the flip-flop baseline retimer. Call sites wrap them
+// with fmt.Errorf("vlib: %w: ...", Err...) so callers classify failures
+// with errors.Is across the package boundary.
+var (
+	// ErrBadInput: a caller mistake (nil circuit, a node that is not a
+	// gate) rather than a property of the retiming search.
+	ErrBadInput = errors.New("invalid vlib input")
+	// ErrNotMovable: the requested flip-flop move is illegal on this
+	// gate, or the transformed circuit breaks the stage budget.
+	ErrNotMovable = errors.New("move not applicable")
+)

@@ -112,7 +112,7 @@ func masterScore(sc *netlist.SeqCircuit, scheme clocking.Scheme, opt Options) (f
 	for _, o := range c.Outputs {
 		a := tm.Arrival(o)
 		if a > scheme.MaxStageDelay()-margin+1e-9 {
-			return 0, fmt.Errorf("vlib: movable master breaks the stage budget at %s", o.Name)
+			return 0, fmt.Errorf("vlib: %w: movable master breaks the stage budget at %s", ErrNotMovable, o.Name)
 		}
 		if a > scheme.Period() {
 			nce++
@@ -181,12 +181,12 @@ func backwardMovable(g *netlist.SeqNode) bool {
 func applyMove(sc *netlist.SeqCircuit, gateID int, forward bool) error {
 	g := sc.Nodes[gateID]
 	if g.Kind != netlist.SeqGate {
-		return fmt.Errorf("vlib: node %d is not a gate", gateID)
+		return fmt.Errorf("vlib: %w: node %d is not a gate", ErrBadInput, gateID)
 	}
 	dead := map[*netlist.SeqNode]bool{}
 	if forward {
 		if !forwardMovable(g) {
-			return fmt.Errorf("vlib: gate %s is not forward-movable", g.Name)
+			return fmt.Errorf("vlib: %w: gate %s is not forward-movable", ErrNotMovable, g.Name)
 		}
 		// g consumes the flops' D drivers directly; one new flop
 		// captures g; g's old consumers read the new flop.
@@ -211,7 +211,7 @@ func applyMove(sc *netlist.SeqCircuit, gateID int, forward bool) error {
 		g.Fanout = []*netlist.SeqNode{newFF}
 	} else {
 		if !backwardMovable(g) {
-			return fmt.Errorf("vlib: gate %s is not backward-movable", g.Name)
+			return fmt.Errorf("vlib: %w: gate %s is not backward-movable", ErrNotMovable, g.Name)
 		}
 		// One new flop per distinct fanin; g's output flops disappear
 		// and their consumers read g directly.

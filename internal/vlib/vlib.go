@@ -129,7 +129,7 @@ func RetimeCtx(ctx context.Context, cin *netlist.Circuit, opt Options, variant V
 	start := time.Now()
 	var attempts int64
 	if cin == nil {
-		return nil, fmt.Errorf("vlib: nil circuit")
+		return nil, fmt.Errorf("vlib: %w: nil circuit", ErrBadInput)
 	}
 	if err := opt.Scheme.Validate(); err != nil {
 		return nil, err
