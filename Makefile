@@ -35,8 +35,11 @@ vet:
 # catalogue (stdlib-only go/ast + go/types): map-iteration determinism
 # (the PR 5 bug class), context threading, sentinel error discipline,
 # journal-first ordering in the queue, hot-loop allocation hygiene, obs
-# span discipline, bare-panic and stderr conventions. Exit 1 on any
-# finding; see README "Static analysis" for the suppression syntax.
+# span discipline, bare-panic and stderr conventions, plus the PR 8
+# concurrency suite — guarded-by fields, repo-wide lock ordering,
+# goroutine lifecycle, channel ownership, atomic/plain mixing. Exit 1
+# on any finding, with a per-rule count breakdown on stderr; see README
+# "Static analysis" for the suppression syntax.
 analyze:
 	$(GO) build -o build/relint ./cmd/relint
 	./build/relint ./...
@@ -44,8 +47,11 @@ analyze:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# inter-test state dependencies surface; the seed prints on failure for
+# reproduction with -shuffle=SEED.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # lint must stay finding-free (exit 0) on everything the repo ships:
 # the example programs (vet), every built-in benchmark profile, and the

@@ -2,10 +2,12 @@
 // repo's Go sources: the determinism and convention invariants that
 // past PRs established the hard way (map-iteration determinism from
 // PR 5, journal-first durability, sentinel error discipline, hot-loop
-// allocation hygiene, span/context plumbing). It is the source-code
-// member of the repo's checker family — internal/lint gates the
-// netlists the pipeline consumes, internal/cert gates the results it
-// produces, relint gates the implementation in between.
+// allocation hygiene, span/context plumbing) plus the concurrency
+// suite from PR 8 (guarded-by fields, lock ordering, goroutine
+// lifecycle, channel ownership, atomic/plain mixing). It is the
+// source-code member of the repo's checker family — internal/lint
+// gates the netlists the pipeline consumes, internal/cert gates the
+// results it produces, relint gates the implementation in between.
 //
 // Usage:
 //
@@ -27,24 +29,27 @@
 // on or above the offending line, or in the function's doc comment to
 // cover the whole function. Exit codes: 0 clean, 1 findings, 2
 // usage/load errors — the same contract as the build/analyzers tool
-// this command replaces.
+// this command replaces. On failure the summary breaks the total down
+// per rule, so a CI log shows at a glance which invariant regressed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"relatch/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string) int {
+func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("relint", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	var (
 		rulesFlag = fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
 		allowFlag = fs.String("allow", "internal/analysis/hotalloc.allow", "hotalloc allowlist file")
@@ -52,7 +57,7 @@ func run(argv []string) int {
 		listFlag  = fs.Bool("list", false, "print the rule catalogue and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: relint [flags] [root ...]\n")
+		fmt.Fprintf(stderr, "usage: relint [flags] [root ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -60,18 +65,18 @@ func run(argv []string) int {
 	}
 	if *listFlag {
 		for _, r := range analysis.Catalogue() {
-			fmt.Printf("%-12s %s\n", r.ID, r.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", r.ID, r.Doc)
 		}
 		return 0
 	}
 	rules, err := analysis.Select(*rulesFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		fmt.Fprintf(stderr, "relint: %v\n", err)
 		return 2
 	}
 	allow, err := analysis.LoadHotAllow(*allowFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		fmt.Fprintf(stderr, "relint: %v\n", err)
 		return 2
 	}
 	cfg := analysis.Config{HotAllow: allow}
@@ -84,31 +89,54 @@ func run(argv []string) int {
 	for _, root := range roots {
 		tree, err := analysis.Load(root, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+			fmt.Fprintf(stderr, "relint: %v\n", err)
 			return 2
 		}
 		// Type errors degrade rules to syntactic coverage; surface them
 		// without failing, so a stale importer cache can't block CI on a
 		// false positive.
 		for _, terr := range tree.TypeErrors {
-			fmt.Fprintf(os.Stderr, "relint: type info incomplete: %v\n", terr)
+			fmt.Fprintf(stderr, "relint: type info incomplete: %v\n", terr)
 		}
 		findings = append(findings, tree.Run(rules)...)
 	}
 
 	if *jsonFlag {
-		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
-			fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "relint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range findings {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "relint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "relint: %d finding(s)%s\n", len(findings), perRuleSummary(findings))
 		return 1
 	}
 	return 0
+}
+
+// perRuleSummary renders " (rule: n, rule: n, ...)" sorted by rule ID,
+// so a failing CI run shows which invariants regressed without
+// scrolling the finding list.
+func perRuleSummary(findings []analysis.Diagnostic) string {
+	counts := map[string]int{}
+	for _, d := range findings {
+		counts[d.Rule]++
+	}
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	s := " ("
+	for i, id := range ids {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %d", id, counts[id])
+	}
+	return s + ")"
 }

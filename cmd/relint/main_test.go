@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relatch/internal/analysis"
+)
+
+// writeTree lays out a throwaway module with the given files and
+// chdirs into it for the test's duration (Load resolves roots
+// relative to the working directory).
+func writeTree(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+const cleanSrc = `package clean
+
+// Answer is the canonical constant.
+const Answer = 42
+`
+
+// dirtySrc trips barepanic (a bare panic outside tests and Must*
+// constructors) and maporder (append under map range) — two rules,
+// three findings, exercising the per-rule summary.
+const dirtySrc = `package dirty
+
+func Explode() {
+	panic("boom")
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Vals(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`
+
+func runRelint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLICleanTreeExitsZero(t *testing.T) {
+	writeTree(t, map[string]string{"clean/clean.go": cleanSrc})
+	code, stdout, stderr := runRelint(t, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d on clean tree; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree printed findings: %q", stdout)
+	}
+}
+
+func TestCLIFindingsExitOneWithPerRuleCounts(t *testing.T) {
+	writeTree(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	code, stdout, stderr := runRelint(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d on dirty tree (want 1); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "[barepanic]") || !strings.Contains(stdout, "[maporder]") {
+		t.Errorf("findings missing expected rules:\n%s", stdout)
+	}
+	// The failure summary must break the total down per rule, sorted.
+	if !strings.Contains(stderr, "(barepanic: 1, maporder: 2)") {
+		t.Errorf("stderr summary lacks per-rule counts: %q", stderr)
+	}
+}
+
+func TestCLIBadFlagAndUnknownRuleExitTwo(t *testing.T) {
+	writeTree(t, map[string]string{"clean/clean.go": cleanSrc})
+	if code, _, _ := runRelint(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	code, _, stderr := runRelint(t, "-rules", "nosuchrule", "./...")
+	if code != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "nosuchrule") {
+		t.Errorf("unknown-rule error does not name the rule: %q", stderr)
+	}
+}
+
+func TestCLIJSONDecodes(t *testing.T) {
+	writeTree(t, map[string]string{"dirty/dirty.go": dirtySrc})
+	code, stdout, _ := runRelint(t, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var ds []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &ds); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, stdout)
+	}
+	if len(ds) != 3 {
+		t.Errorf("decoded %d findings, want 3: %+v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.File == "" || d.Line == 0 || d.Rule == "" || d.Message == "" {
+			t.Errorf("finding with empty field: %+v", d)
+		}
+	}
+}
+
+func TestCLIRulesFlagFilters(t *testing.T) {
+	writeTree(t, map[string]string{"dirty/dirty.go": dirtySrc, "clean/clean.go": cleanSrc})
+	code, stdout, stderr := runRelint(t, "-rules", "maporder", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "[barepanic]") {
+		t.Errorf("-rules maporder still ran barepanic:\n%s", stdout)
+	}
+	if strings.Count(stdout, "[maporder]") != 2 {
+		t.Errorf("want 2 maporder findings:\n%s", stdout)
+	}
+	// Filtering to a rule the tree satisfies must exit clean.
+	if code, _, _ := runRelint(t, "-rules", "barepanic", "clean", "./dirty"); code != 1 {
+		t.Errorf("multi-root run: exit %d, want 1", code)
+	}
+}
+
+func TestCLIListNamesEveryRule(t *testing.T) {
+	code, stdout, _ := runRelint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, r := range analysis.Catalogue() {
+		if !strings.Contains(stdout, r.ID) {
+			t.Errorf("-list output missing rule %q", r.ID)
+		}
+	}
+	if n := len(strings.Split(strings.TrimSpace(stdout), "\n")); n != len(analysis.Catalogue()) {
+		t.Errorf("-list printed %d lines, catalogue has %d rules", n, len(analysis.Catalogue()))
+	}
+}

@@ -28,6 +28,20 @@
 //   - obsspan: a started obs span has a deferred End on every path.
 //   - barepanic, stderr: the original build/analyzers conventions,
 //     migrated (library code returns errors; stderr belongs to cmd/).
+//   - guardedby: struct fields annotated `// guarded by mu` are only
+//     accessed while the named mutex is held on the same receiver
+//     (Lock/Unlock/defer tracked; *Locked helpers exempt).
+//   - lockorder: the repo-wide mutex acquisition graph is acyclic, so
+//     the canonical lock order recorded in DESIGN.md §5.12 stays the
+//     only one.
+//   - golifecycle: every `go` statement outside cmd/ is tied to a
+//     join — WaitGroup Done, a channel send/close the spawner waits
+//     on, or a ctx-bound loop. No fire-and-forget goroutines.
+//   - chandisc: channel ownership discipline — only the owner closes,
+//     no send after a close in the same body, and goroutine-fed
+//     channels whose select reader can return early are buffered.
+//   - atomicmix: a field accessed through sync/atomic is never also
+//     accessed plainly.
 //
 // Diagnostics carry file:line:col positions and render in the
 // internal/lint format. Findings can be suppressed per line or per
@@ -76,8 +90,14 @@ type Rule struct {
 	// Doc is a one-line description for usage text and DESIGN.md.
 	Doc string
 	// Check inspects one package and returns its findings. Suppression
-	// filtering happens in the driver, not in rules.
+	// filtering happens in the driver, not in rules. Nil for tree-level
+	// rules.
 	Check func(*Pass) []Diagnostic
+	// CheckTree inspects the whole load at once and runs exactly once
+	// per Run. Rules whose invariant spans packages (lockorder's
+	// acquisition graph crosses engine → obs and queue → obs) use this
+	// instead of Check.
+	CheckTree func(*Tree) []Diagnostic
 }
 
 // Pass is one package as a rule sees it: parsed files, positions, and
@@ -131,6 +151,11 @@ func Catalogue() []Rule {
 		{ID: "obsspan", Doc: "a started obs span has a deferred End on every path", Check: checkObsSpan},
 		{ID: "barepanic", Doc: "no bare panic outside tests, Must* constructors and the fault harness", Check: checkBarePanic},
 		{ID: "stderr", Doc: "no direct fmt.Fprint*(os.Stderr, ...) outside cmd/ and build/ — library progress goes through obs logging", Check: checkStderr},
+		{ID: "guardedby", Doc: "fields annotated `// guarded by mu` are accessed only while the named mutex is held on the same receiver (*Locked helpers exempt)", Check: checkGuardedBy},
+		{ID: "lockorder", Doc: "the repo-wide mutex acquisition graph stays acyclic — one canonical lock order, no cycles, no same-class re-acquisition under lock", CheckTree: checkLockOrder},
+		{ID: "golifecycle", Doc: "every `go` statement outside cmd/ joins somewhere: WaitGroup Done, channel send/close, or a ctx-bound receive loop", Check: checkGoLifecycle},
+		{ID: "chandisc", Doc: "channel discipline: no closing channels you don't own, no send after close, buffered channels under early-returning select readers", Check: checkChanDisc},
+		{ID: "atomicmix", Doc: "a variable accessed via sync/atomic is never also read or written plainly", Check: checkAtomicMix},
 	}
 }
 
@@ -162,20 +187,42 @@ func Select(ids string) ([]Rule, error) {
 
 // Run applies the rules to every package of the tree, filters
 // suppressed findings, and returns the survivors sorted by position.
-// Suppression directives missing their mandatory reason surface as
-// findings of the pseudo-rule "suppression".
+// Package-level rules (Check) run per package; tree-level rules
+// (CheckTree) run once over the whole load with every package's
+// suppressions in effect. Suppression directives missing their
+// mandatory reason surface as findings of the pseudo-rule
+// "suppression".
 func (t *Tree) Run(rules []Rule) []Diagnostic {
 	var out []Diagnostic
+	var sups []*suppressions
 	for _, p := range t.Pkgs {
 		sup := collectSuppressions(p)
+		sups = append(sups, sup)
 		out = append(out, sup.malformed...)
 		for _, r := range rules {
+			if r.Check == nil {
+				continue
+			}
 			for _, d := range r.Check(p) {
 				if sup.covers(d) {
 					continue
 				}
 				out = append(out, d)
 			}
+		}
+	}
+	for _, r := range rules {
+		if r.CheckTree == nil {
+			continue
+		}
+	tree:
+		for _, d := range r.CheckTree(t) {
+			for _, sup := range sups {
+				if sup.covers(d) {
+					continue tree
+				}
+			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

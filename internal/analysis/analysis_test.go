@@ -148,6 +148,55 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
+// TestSuppressionInterplay pins the scoping of suppression directives
+// across rules: in the mixed fixture, one line carries both a
+// guardedby violation and a lockorder cycle edge, and the directive
+// above it names only guardedby. The guardedby finding must vanish,
+// the lockorder finding on the very same line must survive.
+func TestSuppressionInterplay(t *testing.T) {
+	tree := loadFixture(t, "mixed", Config{})
+	rules, err := Select("guardedby,lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the directive so the assertion is anchored to its line,
+	// not to a hard-coded line number.
+	directiveLine := 0
+	var file string
+	for _, p := range tree.Pkgs {
+		for _, f := range p.Files {
+			for _, grp := range f.Comments {
+				for _, c := range grp.List {
+					if strings.HasPrefix(c.Text, "//relint:ignore guardedby") &&
+						strings.Contains(c.Text, "must not silence") {
+						file, directiveLine, _ = p.position(c.Pos())
+					}
+				}
+			}
+		}
+	}
+	if directiveLine == 0 {
+		t.Fatal("mixed fixture lost its //relint:ignore guardedby directive")
+	}
+	targetLine := directiveLine + 1
+	var lockorderOnTarget bool
+	for _, d := range tree.Run(rules) {
+		switch d.Rule {
+		case "guardedby":
+			t.Errorf("guardedby finding survived its suppression: %s", d)
+		case "lockorder":
+			if d.File == file && d.Line == targetLine {
+				lockorderOnTarget = true
+			}
+		default:
+			t.Errorf("unexpected finding in mixed fixture: %s", d)
+		}
+	}
+	if !lockorderOnTarget {
+		t.Errorf("the guardedby suppression silenced the lockorder finding on %s:%d too", file, targetLine)
+	}
+}
+
 // TestHotAllowlist checks both directions of the allowlist: a matching
 // key silences its finding, and a key matching nothing is itself
 // reported as stale.

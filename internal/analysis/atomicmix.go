@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Rule atomicmix: sync/atomic only synchronizes with itself. A field
+// incremented with atomic.AddInt64 but read with a plain load is a
+// data race the compiler will happily reorder around — the plain
+// access gets none of the atomic's ordering guarantees, and the race
+// detector only notices when both sides run concurrently under test.
+// The discipline is binary: once any access to a variable goes through
+// sync/atomic, every access must (or the variable moves under a mutex
+// and the atomics go away).
+//
+// Mechanics: within a package, every `atomic.Fn(&x, ...)` call marks
+// x's object (field or variable, resolved through type info) as
+// atomic. Any identifier resolving to the same object outside an
+// atomic call's argument list is flagged, pointing back at the first
+// atomic site. Object identity is package-local, which is exactly the
+// scope where the repo declares its counters; atomic.Value and the Go
+// 1.19 typed wrappers (atomic.Int64 etc.) enforce themselves through
+// their method set and need no rule.
+func checkAtomicMix(p *Pass) []Diagnostic {
+	type site struct {
+		pos  token.Pos
+		file string
+		line int
+	}
+	atomicObjs := map[types.Object]site{}
+	var callRanges [][2]token.Pos
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "atomic" {
+				return true
+			}
+			if _, isPkg := p.Info.Uses[sel.X.(*ast.Ident)].(*types.PkgName); !isPkg && p.Info.Uses[sel.X.(*ast.Ident)] != nil {
+				return true // a local variable named atomic, not the package
+			}
+			callRanges = append(callRanges, [2]token.Pos{call.Pos(), call.End()})
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			var target *ast.Ident
+			switch x := un.X.(type) {
+			case *ast.Ident:
+				target = x
+			case *ast.SelectorExpr:
+				target = x.Sel
+			}
+			if target == nil {
+				return true
+			}
+			obj := p.Info.Uses[target]
+			if obj == nil {
+				obj = p.Info.Defs[target]
+			}
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicObjs[obj]; !seen {
+				file, line, _ := p.position(call.Pos())
+				atomicObjs[obj] = site{pos: call.Pos(), file: file, line: line}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	inAtomicCall := func(pos token.Pos) bool {
+		for _, r := range callRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			s, isAtomic := atomicObjs[obj]
+			if !isAtomic || inAtomicCall(id.Pos()) {
+				return true
+			}
+			out = append(out, p.diag("atomicmix", id.Pos(),
+				"%s is accessed plainly here but atomically at %s:%d — mixing gives the plain access no ordering guarantees; use sync/atomic on every access or move it under a mutex", id.Name, s.file, s.line))
+			return true
+		})
+	}
+	return out
+}

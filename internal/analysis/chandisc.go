@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Rule chandisc: channel ownership discipline. Go's runtime turns the
+// two classic ownership mistakes into panics (close of closed
+// channel, send on closed channel) and the third into a silent
+// goroutine leak, so all three are checked statically:
+//
+//   - Only the owning sender closes: close(ch) where ch is a
+//     parameter of the enclosing function is closing a channel the
+//     function does not own — the caller (or another sender) may
+//     still send. Ownership stays with whoever made the channel.
+//
+//   - No send after a close on any path: within one function body, a
+//     send on a channel that an earlier statement closes is a
+//     guaranteed or schedule-dependent panic.
+//
+//   - Goroutine-fed channels under early-returning readers are
+//     buffered: the pattern
+//
+//     errc := make(chan error)
+//     go func() { errc <- serve() }()
+//     select { case err := <-errc: ...  case <-ctx.Done(): return ... }
+//
+//     leaks the sender forever when ctx wins the race. A one-slot
+//     buffer (make(chan error, 1)) lets the send complete and the
+//     goroutine exit — the exact bug class engine/server.go's
+//     ListenAndServe guards against. The plain `return <-errc` shape
+//     (no select, reader cannot abandon the channel) stays legal
+//     unbuffered.
+func checkChanDisc(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					out = append(out, p.checkChanBody(x.Type.Params, x.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, p.checkChanBody(x.Type.Params, x.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkChanBody runs the three channel checks over one function body.
+// Nested function literals are their own scopes and get their own
+// visit from checkChanDisc, so subtrees under them are skipped here —
+// except goroutine literals, which checkChanBody inspects itself for
+// sends into the spawning function's channels.
+func (p *Pass) checkChanBody(params *ast.FieldList, body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	paramObjs := paramObjects(p, params)
+	closed := map[types.Object]token.Pos{} // first close position per channel object
+	unbuffered := map[types.Object]token.Pos{}
+	goroutineSends := map[types.Object]bool{}
+	selectRecv := map[types.Object]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if arg, ok := x.Args[0].(*ast.Ident); ok {
+					obj := p.Info.Uses[arg]
+					if obj == nil {
+						return true
+					}
+					if _, first := closed[obj]; !first {
+						closed[obj] = x.Pos()
+					}
+					if paramObjs[obj] {
+						out = append(out, p.diag("chandisc", x.Pos(),
+							"close(%s) closes a channel received as a parameter — only the owning sender (whoever made the channel) may close it", arg.Name))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// ch := make(chan T) — record unbuffered locals.
+			if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok {
+					if call, ok := x.Rhs[0].(*ast.CallExpr); ok && calleeName(call) == "make" && len(call.Args) == 1 {
+						if _, isChan := call.Args[0].(*ast.ChanType); isChan {
+							if obj := p.Info.Defs[id]; obj != nil {
+								unbuffered[obj] = x.Pos()
+							}
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if send, ok := m.(*ast.SendStmt); ok {
+						if id, ok := send.Chan.(*ast.Ident); ok {
+							if obj := p.Info.Uses[id]; obj != nil {
+								goroutineSends[obj] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.SelectStmt:
+			if len(x.Body.List) < 2 {
+				return true
+			}
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				for _, id := range commRecvIdents(cc.Comm) {
+					if obj := p.Info.Uses[id]; obj != nil {
+						selectRecv[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Send-after-close: a send later in the body than a close of the
+	// same channel object.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := send.Chan.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if pos, wasClosed := closed[obj]; wasClosed && send.Pos() > pos {
+			out = append(out, p.diag("chandisc", send.Pos(),
+				"send on %s after a close on the same path — send on closed channel panics", id.Name))
+		}
+		return true
+	})
+
+	type leak struct {
+		pos  token.Pos
+		name string
+	}
+	var leaks []leak
+	for obj, pos := range unbuffered {
+		if goroutineSends[obj] && selectRecv[obj] {
+			leaks = append(leaks, leak{pos, obj.Name()})
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		out = append(out, p.diag("chandisc", l.pos,
+			"%s is unbuffered, fed from a goroutine, and read under a select whose other case can return first — the sender leaks when it loses the race; make it buffered (make(chan …, 1))", l.name))
+	}
+	return out
+}
+
+// paramObjects collects the declared objects of a parameter list.
+func paramObjects(p *Pass, params *ast.FieldList) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if params == nil {
+		return out
+	}
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// commRecvIdents extracts the channel identifiers received from in a
+// select comm statement (`case v := <-ch:`, `case <-ch:`).
+func commRecvIdents(comm ast.Stmt) []*ast.Ident {
+	var out []*ast.Ident
+	collect := func(e ast.Expr) {
+		if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			if id, ok := un.X.(*ast.Ident); ok {
+				out = append(out, id)
+			}
+		}
+	}
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		collect(c.X)
+	case *ast.AssignStmt:
+		for _, r := range c.Rhs {
+			collect(r)
+		}
+	}
+	return out
+}

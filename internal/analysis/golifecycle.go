@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Rule golifecycle: a goroutine nobody waits for is a goroutine nobody
+// can shut down — it outlives graceful shutdown (the engine's
+// Close/wg.Wait contract), holds references past their lifetime, and
+// turns `go test -race` runs flaky when it touches test state after
+// the test returns. Every `go` statement in library code must
+// therefore be tied to a join the spawner (or owner) can observe:
+//
+//   - a WaitGroup/errgroup-style Done call in the spawned body
+//     (engine.Durable's workers and sweeper: `defer d.wg.Done()`),
+//   - a send or close on a channel the owner receives from
+//     (server.ListenAndServe's `errc <- srv.Serve(ln)`,
+//     faults' `done <- o`),
+//   - or a ctx-bound receive loop that exits on cancellation
+//     (`case <-d.ctx.Done(): return`).
+//
+// Recognition is syntactic over the spawned body (a function literal,
+// or a same-package function/method resolved by name): any Done call,
+// channel send, close, or receive counts as tied. Spawns whose callee
+// cannot be resolved are skipped, best-effort. cmd/ and build/ are out
+// of scope — a main owns its process lifetime, and the runtime reaps
+// everything at exit.
+func checkGoLifecycle(p *Pass) []Diagnostic {
+	slashed := "/" + p.Path + "/"
+	if (strings.Contains(slashed, "/cmd/") || strings.Contains(slashed, "/build/") || strings.Contains(slashed, "/examples/")) &&
+		!strings.Contains(slashed, "/testdata/src/golifecycle/") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				name := calleeName(g.Call)
+				if fn := localFuncDecl(p, name); fn != nil {
+					body = fn.Body
+				}
+			}
+			if body == nil || goroutineTied(body) {
+				return true
+			}
+			out = append(out, p.diag("golifecycle", g.Pos(),
+				"fire-and-forget goroutine: the spawned body neither signals a WaitGroup (Done), nor sends/closes a channel, nor loops on a ctx receive — nothing can join or stop it"))
+			return true
+		})
+	}
+	return out
+}
+
+// localFuncDecl finds a same-package function or method body by bare
+// name (best-effort: the first match wins, which is enough for the
+// repo's `go d.worker()` / `go e.run(...)` spawns).
+func localFuncDecl(p *Pass, name string) *ast.FuncDecl {
+	if name == "" {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name && fn.Body != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// goroutineTied reports whether a spawned body contains any join
+// signal: a Done() call, a channel send, a close, or a receive.
+func goroutineTied(body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if name := calleeName(x); name == "Done" || name == "close" {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			// `for range ch` over a channel joins on close; over other
+			// types it is just a loop, but the spawned pump bodies that
+			// range do so over channels — accept it.
+			if _, isIdent := x.X.(*ast.Ident); isIdent {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}

@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule lockorder: deadlocks need no data race — two goroutines taking
+// the same two mutexes in opposite orders is enough, and `go test
+// -race` only sees it when the schedules actually collide. This rule
+// builds the repo-wide mutex acquisition graph and fails on cycles, so
+// the canonical order recorded in DESIGN.md §5.12 (today:
+// queue.Queue.mu → obs.Registry.mu and engine.Durable.mu →
+// obs.Registry.mu; every other mutex is a leaf) is pinned by CI rather
+// than by convention.
+//
+// It is the catalogue's only tree-level rule (Rule.CheckTree): the
+// interesting edges cross packages — internal/queue holds Queue.mu
+// while bumping obs metrics — so a per-package pass could never see
+// them.
+//
+// Mechanics:
+//
+//   - A lock class is a mutex-typed struct field, keyed
+//     "pkg.Type.field" ("queue.Queue.mu"), or a package-level mutex
+//     var, keyed "pkg.var" ("queue.openDirsMu"). Classes are types,
+//     not instances: locking two different Spans is one class.
+//   - Within each function, a class is held from its Lock/RLock call
+//     to the first later Unlock/RUnlock of the same class, or to the
+//     end of the body when the unlock is deferred.
+//   - While a class is held, a direct Lock of another class adds an
+//     edge, and so does any call to a function whose own (transitive)
+//     acquisition set is known — resolved by name across packages,
+//     best-effort, so function values and interface methods are
+//     skipped rather than guessed.
+//   - Every edge that lies on a cycle is reported at its acquisition
+//     site, including self-edges: re-acquiring a class already held is
+//     a self-deadlock with sync.Mutex (and with two instances of one
+//     class it is an undefined instance order, which needs an explicit
+//     hierarchy anyway).
+func checkLockOrder(t *Tree) []Diagnostic {
+	idx := buildFuncIndex(t)
+	acq := buildAcquireSets(t, idx)
+
+	type edge struct {
+		from, to string
+		p        *Pass
+		pos      token.Pos
+	}
+	var edges []edge
+	seen := map[string]bool{}
+	addEdge := func(from, to string, p *Pass, pos token.Pos) {
+		key := from + "\x00" + to
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		edges = append(edges, edge{from, to, p, pos})
+	}
+
+	forEachFuncBody(t, func(p *Pass, fn *ast.FuncDecl) {
+		events := lockEvents(p, fn.Body)
+		for _, lk := range events {
+			if lk.kind != lockAcquire {
+				continue
+			}
+			end := fn.Body.End()
+			for _, ul := range events {
+				if ul.kind == lockRelease && ul.class == lk.class && ul.pos > lk.pos && ul.pos < end {
+					end = ul.pos
+				}
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				// Code inside a function literal or `go` statement does
+				// not run at this position (and a spawned goroutine's
+				// locks are concurrent with ours, not nested under them).
+				switch n.(type) {
+				case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Pos() <= lk.pos || call.Pos() >= end {
+					return true
+				}
+				if class, op := mutexOpClass(p, call); class != "" {
+					if op == "Lock" || op == "RLock" {
+						addEdge(lk.class, class, p, call.Pos())
+					}
+					return true
+				}
+				if key := calleeKey(p, call); key != "" {
+					for to := range acq[key] {
+						addEdge(lk.class, to, p, call.Pos())
+					}
+				}
+				return true
+			})
+		}
+	})
+
+	// Adjacency over classes; an edge is reported iff its head can
+	// reach its tail (the edge lies on a cycle).
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, target string) bool {
+		stack := []string{from}
+		visited := map[string]bool{}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == target {
+				return true
+			}
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			nexts := make([]string, 0, len(adj[n]))
+			for next := range adj[n] {
+				nexts = append(nexts, next)
+			}
+			sort.Strings(nexts)
+			stack = append(stack, nexts...)
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	for _, e := range edges {
+		switch {
+		case e.from == e.to:
+			out = append(out, e.p.diag("lockorder", e.pos,
+				"%s is re-acquired while already held — a self-deadlock with sync.Mutex; release first, or split the critical section with a *Locked helper", e.from))
+		case reaches(e.to, e.from):
+			out = append(out, e.p.diag("lockorder", e.pos,
+				"%s is acquired while %s is held, and elsewhere the order is reversed — a lock-order cycle (%s); pin one canonical acquisition order (see DESIGN.md §5.12)", e.to, e.from, cyclePath(adj, e.from, e.to)))
+		}
+	}
+	return out
+}
+
+// cyclePath renders one from→…→from witness path for the message.
+func cyclePath(adj map[string]map[string]bool, from, to string) string {
+	// BFS from `to` back to `from`; the edge from→to plus that path is
+	// the cycle.
+	parent := map[string]string{to: ""}
+	queue := []string{to}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == from {
+			break
+		}
+		var nexts []string
+		for next := range adj[n] {
+			nexts = append(nexts, next)
+		}
+		sort.Strings(nexts)
+		for _, next := range nexts {
+			if _, ok := parent[next]; !ok {
+				parent[next] = n
+				queue = append(queue, next)
+			}
+		}
+	}
+	path := []string{from}
+	for n := from; n != to; {
+		n = parent[n]
+		if n == "" {
+			break
+		}
+		path = append(path, n)
+	}
+	// The collected chain runs from→…→to; reversed it reads
+	// to→…→from, and prefixing `from` closes the cycle.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return from + " → " + strings.Join(path, " → ")
+}
+
+type lockEventKind int
+
+const (
+	lockAcquire lockEventKind = iota
+	lockRelease
+)
+
+type lockEvent struct {
+	class string
+	kind  lockEventKind
+	pos   token.Pos
+}
+
+// lockEvents collects the mutex operations of one body. Deferred
+// unlocks are omitted on purpose: a deferred release keeps the class
+// held to the end of the body. Function literals and `go` statements
+// are separate execution contexts and are skipped.
+func lockEvents(p *Pass, body *ast.BlockStmt) []lockEvent {
+	var out []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		class, op := mutexOpClass(p, call)
+		if class == "" {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			out = append(out, lockEvent{class, lockAcquire, call.Pos()})
+		case "Unlock", "RUnlock":
+			out = append(out, lockEvent{class, lockRelease, call.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOpClass decodes a sync.Mutex/RWMutex Lock/Unlock/RLock/RUnlock
+// call into its lock class ("" when the call is anything else).
+func mutexOpClass(p *Pass, call *ast.CallExpr) (class, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return "", ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		// Package-level (or local) mutex var.
+		if obj, ok := p.Info.Uses[x]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + x.Name, sel.Sel.Name
+		}
+		return "", ""
+	case *ast.SelectorExpr:
+		// Struct-field mutex: class is the owning named type.
+		if name := namedTypeKey(p, x.X); name != "" {
+			return name + "." + x.Sel.Name, sel.Sel.Name
+		}
+	}
+	return "", ""
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// namedTypeKey resolves an expression to "pkg.Type" via type info,
+// dereferencing pointers ("" when unresolved or unnamed).
+func namedTypeKey(p *Pass, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// funcKey identifies a function across the tree: "pkg.Type.Method" for
+// methods, "pkg.Func" for free functions. Keys are name-based because
+// types.Object identity does not hold between a package checked
+// standalone and the same package seen through the importer.
+func funcDeclKey(p *Pass, fn *ast.FuncDecl) string {
+	pkg := ""
+	if len(p.Files) > 0 {
+		pkg = p.Files[0].Name.Name
+	}
+	if recv := receiverTypeName(fn); recv != "" {
+		return pkg + "." + recv + "." + fn.Name.Name
+	}
+	return pkg + "." + fn.Name.Name
+}
+
+// calleeKey resolves a call site to a funcDeclKey, best-effort: method
+// calls through a resolvable named receiver type, package-qualified
+// calls, and same-package bare calls. Function values, builtins and
+// interface methods yield "".
+func calleeKey(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[fun]; ok {
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return ""
+			}
+		}
+		pkg := ""
+		if len(p.Files) > 0 {
+			pkg = p.Files[0].Name.Name
+		}
+		return pkg + "." + fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Name() + "." + fun.Sel.Name
+			}
+		}
+		if name := namedTypeKey(p, fun.X); name != "" {
+			return name + "." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+type indexedFunc struct {
+	p  *Pass
+	fn *ast.FuncDecl
+}
+
+func buildFuncIndex(t *Tree) map[string]indexedFunc {
+	idx := map[string]indexedFunc{}
+	forEachFuncBody(t, func(p *Pass, fn *ast.FuncDecl) {
+		idx[funcDeclKey(p, fn)] = indexedFunc{p, fn}
+	})
+	return idx
+}
+
+// buildAcquireSets computes, for every indexed function, the set of
+// lock classes it (transitively) acquires, by fixpoint over the
+// name-resolved call graph.
+func buildAcquireSets(t *Tree, idx map[string]indexedFunc) map[string]map[string]bool {
+	direct := map[string]map[string]bool{}
+	calls := map[string][]string{}
+	keys := make([]string, 0, len(idx))
+	for key := range idx {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		f := idx[key]
+		set := map[string]bool{}
+		for _, ev := range lockEvents(f.p, f.fn.Body) {
+			if ev.kind == lockAcquire {
+				set[ev.class] = true
+			}
+		}
+		// Deferred Lock would be nonsense; deferred Unlock is a release,
+		// but the class was still acquired — lockEvents' acquire entries
+		// already cover it.
+		direct[key] = set
+		ast.Inspect(f.fn.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if k := calleeKey(f.p, call); k != "" && k != key {
+					calls[key] = append(calls[key], k)
+				}
+			}
+			return true
+		})
+	}
+	acq := map[string]map[string]bool{}
+	for key, set := range direct {
+		acq[key] = copyHeld(set)
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, callees := range calls {
+			for _, callee := range callees {
+				for class := range acq[callee] {
+					if !acq[key][class] {
+						acq[key][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// forEachFuncBody visits every FuncDecl with a body in the tree.
+func forEachFuncBody(t *Tree, visit func(p *Pass, fn *ast.FuncDecl)) {
+	for _, p := range t.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					visit(p, fn)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package atomicmix is the golden fixture for the atomicmix rule:
+// fields and package vars touched through sync/atomic must never also
+// be accessed plainly; all-atomic and never-atomic variables stay
+// silent.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes disciplines on one field and keeps them straight on
+// the other two.
+type Counter struct {
+	hits  int64 // every access atomic: fine
+	total int64 // mixed: flagged below
+	plain int   // never atomic: fine
+}
+
+// Inc is all-atomic.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Hits is all-atomic.
+func (c *Counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Snapshot reads total plainly even though Inc bumps it atomically.
+func (c *Counter) Snapshot() int64 {
+	c.plain++
+	return c.total // want "accessed plainly here but atomically"
+}
+
+var generation int64
+
+// Advance bumps the package counter atomically.
+func Advance() {
+	atomic.AddInt64(&generation, 1)
+}
+
+// Peek reads it plainly: same object, mixed discipline.
+func Peek() int64 {
+	return generation // want "accessed plainly here but atomically"
+}

@@ -1,0 +1,67 @@
+// Package chandisc is the golden fixture for the chandisc rule: the
+// three ownership violations (closing a received channel, sending
+// after a close, an unbuffered goroutine-fed channel under an
+// early-returning select) and their sanctioned counterparts.
+package chandisc
+
+import "context"
+
+// DrainAndClose closes a channel it received — the caller, or another
+// sender, may still be sending.
+func DrainAndClose(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want "closes a channel received as a parameter"
+}
+
+// Produce owns its channel: making, sending, closing in one body is
+// the canonical producer shape (close precedes no send here).
+func Produce(n int) <-chan int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	return ch
+}
+
+// SendAfterClose panics at the send on every schedule.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch after a close"
+}
+
+// LeakyServe replays the engine/server.go bug class: when ctx wins the
+// select, the unbuffered send blocks forever and the goroutine leaks.
+func LeakyServe(ctx context.Context, serve func() error) error {
+	errc := make(chan error) // want "make it buffered"
+	go func() { errc <- serve() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BufferedServe is the fix: the one-slot buffer lets the loser of the
+// race finish its send and exit.
+func BufferedServe(ctx context.Context, serve func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- serve() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SoleReader never abandons the channel — a plain receive has no other
+// case to win — so unbuffered is legal.
+func SoleReader(serve func() error) error {
+	errc := make(chan error)
+	go func() { errc <- serve() }()
+	return <-errc
+}

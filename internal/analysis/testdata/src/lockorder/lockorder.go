@@ -1,0 +1,67 @@
+// Package lockorder is the golden fixture for the lockorder rule: a
+// two-mutex cycle built from one direct nested Lock and one transitive
+// acquisition through a callee, a legal one-way ordering, and a
+// same-class re-acquisition under lock (self-deadlock).
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+// Forward acquires A.mu → B.mu directly.
+func (a *A) Forward() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock() // want "lock-order cycle"
+	a.b.mu.Unlock()
+}
+
+// Backward acquires B.mu → A.mu through a callee, closing the cycle.
+func (b *B) Backward() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.Touch() // want "lock-order cycle"
+}
+
+// Touch takes and releases A.mu; Backward inherits the acquisition.
+func (a *A) Touch() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Reenter calls back into a method that takes the mutex it already
+// holds: sync.Mutex self-deadlocks.
+func (a *A) Reenter() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Touch() // want "self-deadlock"
+}
+
+// C → D is a one-way ordering: edges without a reverse path are the
+// canonical order, not findings.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func Chain(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// Sequential takes the same two locks without overlap: release before
+// acquire creates no edge in either direction.
+func Sequential(d *D, c *C) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

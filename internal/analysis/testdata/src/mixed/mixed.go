@@ -1,0 +1,40 @@
+// Package mixed is the suppression-interplay fixture: the statement
+// `b.a.mu.Lock()` in Backward carries both a guardedby violation (the
+// pointer field a is annotated `guarded by amu`, which is not held)
+// and a lockorder cycle edge (B.mu → A.mu, reversing Forward's
+// A.mu → B.mu), and the //relint:ignore above it names only guardedby.
+// The directive must silence exactly that rule — the lockorder finding
+// on the same line survives. TestSuppressionInterplay asserts both
+// directions; there are no want comments because this fixture is
+// driven by that test, not by TestRuleFixtures.
+package mixed
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu  sync.Mutex
+	amu sync.Mutex
+	a   *A // guarded by amu
+}
+
+// Forward pins the A.mu → B.mu direction of the cycle.
+func (a *A) Forward() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+}
+
+// Backward reverses the order through the guarded pointer field.
+func (b *B) Backward() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//relint:ignore guardedby -- interplay fixture: audited access; must not silence the lockorder finding on the same line
+	b.a.mu.Lock()
+	b.a.mu.Unlock() //relint:ignore guardedby -- interplay fixture: companion unlock of the audited access
+}

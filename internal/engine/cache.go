@@ -98,9 +98,9 @@ type Cache struct {
 	cap int
 
 	mu    sync.Mutex
-	ll    *list.List // front = most recent; values are *lruItem
-	items map[Key]*list.Element
-	stats CacheStats
+	ll    *list.List            // guarded by mu (front = most recent; values are *lruItem)
+	items map[Key]*list.Element // guarded by mu
+	stats CacheStats            // guarded by mu
 }
 
 type lruItem struct {

@@ -75,10 +75,10 @@ type Durable struct {
 	wg     sync.WaitGroup
 
 	mu            sync.Mutex
-	overloadSince time.Time
-	poisonedSeen  int64
-	poisonedUntil time.Time
-	unreadyReason string
+	overloadSince time.Time // guarded by mu
+	poisonedSeen  int64     // guarded by mu
+	poisonedUntil time.Time // guarded by mu
+	unreadyReason string    // guarded by mu
 }
 
 // NewDurable builds the pump and starts its workers and sweep ticker.

@@ -138,14 +138,14 @@ type Ticket struct {
 	Key Key
 
 	mu        sync.Mutex
-	state     State
-	outcome   *Outcome
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	state     State     // guarded by mu
+	outcome   *Outcome  // guarded by mu
+	err       error     // guarded by mu
+	submitted time.Time // guarded by mu
+	started   time.Time // guarded by mu
+	finished  time.Time // guarded by mu
 
-	done chan struct{}
+	done chan struct{} // closed by finish; receive-only join, no lock needed
 }
 
 // Status returns the ticket's current state and lifecycle timestamps.
@@ -230,12 +230,12 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	mu       sync.Mutex
-	inflight map[Key]*call
-	tickets  map[string]*Ticket
-	order    []string
-	nextID   int
-	stats    Stats
-	closed   bool
+	inflight map[Key]*call      // guarded by mu
+	tickets  map[string]*Ticket // guarded by mu
+	order    []string           // guarded by mu
+	nextID   int                // guarded by mu
+	stats    Stats              // guarded by mu
+	closed   bool               // guarded by mu
 }
 
 // New builds an engine. The caller owns its lifecycle and must Close it.

@@ -123,6 +123,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return fmt.Errorf("engine: serve: %w", err)
 	}
 	s.cfg.Logger.Info("serving", "addr", ln.Addr().String())
+	// The buffer is load-bearing (relint chandisc bug class): when ctx
+	// wins the select below, nobody is receiving — an unbuffered send
+	// from the Serve goroutine would leak it until the final drain.
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

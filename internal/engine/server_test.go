@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -481,6 +482,48 @@ func TestServerGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("shutdown hung")
+	}
+}
+
+// TestServerServeGoroutineJoins is the regression test for the buffered
+// errc in ListenAndServe (relint chandisc bug class): when ctx wins the
+// shutdown select, the internal Serve goroutine must still be able to
+// deliver its error and exit. An unbuffered errc would strand one Serve
+// goroutine per ListenAndServe cycle; repeated cycles would grow the
+// goroutine count without bound.
+func TestServerServeGoroutineJoins(t *testing.T) {
+	st := newTestStack(t, nil)
+	srv, err := NewServer(ServerConfig{Durable: st.d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe(ctx, "127.0.0.1:0") }()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("cycle %d: shutdown returned %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("cycle %d: shutdown hung", i)
+		}
+	}
+	// Each cycle's goroutines (ListenAndServe wrapper + Serve) must have
+	// exited; poll briefly since exits are asynchronous. Allow slack of 2
+	// for unrelated runtime/netpoll goroutines that may have started.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across serve cycles: %d before, %d after", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -118,11 +118,14 @@ func engineFaults(lib *cell.Library) []Fault {
 				if err != nil {
 					return fmt.Errorf("faults: bad fixture: %v", err)
 				}
+				closed := make(chan struct{})
 				go func() {
+					defer close(closed)
 					time.Sleep(10 * time.Millisecond)
 					eng.Close()
 				}()
 				_, err = t.Wait(ctx)
+				<-closed
 				return err
 			},
 		},

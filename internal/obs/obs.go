@@ -114,12 +114,12 @@ type Span struct {
 	start  time.Time
 
 	mu       sync.Mutex
-	end      time.Time
-	counters map[string]int64
-	gauges   map[string]int64
-	attrs    map[string]string
-	events   []Event
-	children []*Span
+	end      time.Time         // guarded by mu
+	counters map[string]int64  // guarded by mu
+	gauges   map[string]int64  // guarded by mu
+	attrs    map[string]string // guarded by mu
+	events   []Event           // guarded by mu
+	children []*Span           // guarded by mu
 }
 
 func (s *Span) newChild(name string) *Span {

@@ -16,8 +16,8 @@ import (
 // the Span conventions.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]int64
+	counters map[string]int64 // guarded by mu
+	gauges   map[string]int64 // guarded by mu
 }
 
 // NewRegistry builds an empty registry.

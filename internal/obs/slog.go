@@ -16,8 +16,8 @@ import (
 // lines the pipeline used to emit — library code logs through slog and
 // the binary decides the sink.
 type LogHandler struct {
-	mu     *sync.Mutex
-	w      io.Writer
+	mu     *sync.Mutex // pointer: WithAttrs/WithGroup copies share one writer lock
+	w      io.Writer   // guarded by mu
 	level  slog.Leveler
 	prefix string // pre-rendered groups/attrs from WithAttrs/WithGroup
 	groups []string

@@ -208,7 +208,7 @@ type Stats struct {
 // directory; cross-process sharing is refused via the pid lock file.
 var (
 	openDirsMu sync.Mutex
-	openDirs   = map[string]bool{}
+	openDirs   = map[string]bool{} // guarded by openDirsMu
 )
 
 // Queue is the durable job queue. All methods are safe for concurrent
@@ -217,15 +217,15 @@ type Queue struct {
 	cfg Config
 
 	mu      sync.Mutex
-	j       *journal // nil when memory-only
-	unlock  func()
-	jobs    map[string]*job
-	order   []string // submission order
-	nextID  uint64
-	nextSeq uint64
-	counts  Stats
-	closed  bool
-	crashed error
+	j       *journal        // guarded by mu (nil when memory-only)
+	unlock  func()          // guarded by mu
+	jobs    map[string]*job // guarded by mu
+	order   []string        // guarded by mu (submission order)
+	nextID  uint64          // guarded by mu
+	nextSeq uint64          // guarded by mu
+	counts  Stats           // guarded by mu
+	closed  bool            // guarded by mu
+	crashed error           // guarded by mu
 }
 
 // Open builds a queue over dir, replaying any existing journal. Leased
@@ -289,6 +289,8 @@ func Open(cfg Config) (*Queue, error) {
 }
 
 // replay rebuilds the in-memory state from journal records.
+//
+//relint:ignore guardedby -- replay runs only from Open before the Queue is published; no other goroutine can observe the fields yet, so locking would be pure overhead
 func (q *Queue) replay(recs []record) {
 	for _, r := range recs {
 		switch r.Type {
