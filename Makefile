@@ -8,7 +8,10 @@
 #   make fuzz-smoke short fuzzing pass over the Verilog parser
 #   make fuzz       longer fuzzing session (override FUZZTIME)
 #   make bench      regenerate BENCH_pipeline.json (perf trajectory)
-#   make serve-smoke end-to-end smoke of rar -serve over real HTTP
+#   make serve-smoke end-to-end smoke of rar -serve over real HTTP,
+#                   including the SSE stage-event sequence
+#   make loadgen-smoke replay jobs against rar -serve at a target rate,
+#                   regenerate BENCH_serve.json (serving SLO baseline)
 #   make queue-crash-smoke SIGKILL rar -serve mid-job, restart on the
 #                   same -queue-dir, require the job to finish certified
 
@@ -21,7 +24,7 @@ BENCHJOBS ?= 4
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke queue-crash-smoke
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke loadgen-smoke queue-crash-smoke
 
 check: vet analyze build race fuzz-smoke
 
@@ -92,8 +95,12 @@ bench:
 	@echo "wrote BENCH_pipeline.json"
 
 # End-to-end smoke of the HTTP serve mode: start rar -serve, submit a
-# benchmark job over real HTTP, poll it to completion, and require the
-# result to carry a clean certificate. Cleans up the server on any exit.
+# benchmark job over real HTTP, attach an SSE consumer to its events
+# feed, poll it to completion, and require (a) a clean certificate,
+# (b) the full queued → leased → solving → certifying → done stage
+# sequence with a pivot-count progress event on the SSE stream, and
+# (c) per-stage latency histograms on /metrics. Cleans up the server on
+# any exit.
 SERVEADDR ?= 127.0.0.1:18417
 serve-smoke:
 	$(GO) build -o build/rar ./cmd/rar
@@ -112,6 +119,7 @@ serve-smoke:
 	echo "$$resp"; \
 	id=$$(printf '%s' "$$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
 	test -n "$$id" || { echo "serve-smoke: no job id in response"; exit 1; }; \
+	curl -fsS -N -m 60 http://$(SERVEADDR)/jobs/$$id/events > build/serve-sse.out & ssepid=$$!; \
 	out=; for i in $$(seq 1 100); do \
 		out=$$(curl -fsS http://$(SERVEADDR)/jobs/$$id); \
 		case "$$out" in \
@@ -125,9 +133,51 @@ serve-smoke:
 		*'"certified":true'*) ;; \
 		*) echo "serve-smoke: job finished without a clean certificate"; exit 1;; \
 	esac; \
+	wait $$ssepid || { echo "serve-smoke: SSE consumer failed"; exit 1; }; \
+	stages=$$(grep -o '"stage":"[a-z]*"' build/serve-sse.out | cut -d: -f2- | tr -d '"' | tr '\n' ' '); \
+	echo "serve-smoke: SSE stages: $$stages"; \
+	case "$$stages" in \
+		"queued leased solving certifying done "*) ;; \
+		*) echo "serve-smoke: bad SSE stage sequence"; cat build/serve-sse.out; exit 1;; \
+	esac; \
+	grep -q '"counter":"pivots"' build/serve-sse.out \
+		|| { echo "serve-smoke: no pivots progress event on the SSE stream"; exit 1; }; \
+	grep -q '^event: end' build/serve-sse.out \
+		|| { echo "serve-smoke: SSE stream did not finish with an end event"; exit 1; }; \
 	curl -fsS http://$(SERVEADDR)/metrics | grep -q '^relatch_engine_submitted_total 1$$' \
 		|| { echo "serve-smoke: metrics missing submission counter"; exit 1; }; \
+	curl -fsS http://$(SERVEADDR)/metrics \
+		| grep -q '^relatch_job_stage_seconds_count{stage="solve"} 1$$' \
+		|| { echo "serve-smoke: metrics missing solve-stage histogram"; exit 1; }; \
 	echo "serve-smoke ok"
+
+# Serving SLO baseline: replay a burst of job submissions against a
+# live rar -serve at a target open-loop rate and regenerate the
+# committed BENCH_serve.json (achieved throughput, p50/p95/p99 latency,
+# shed/error accounting). The loadgen exits non-zero when the run is
+# unhealthy — no completions, dead jobs, transport errors, or
+# uncertified results — which fails the target.
+LOADGENADDR ?= 127.0.0.1:18437
+LOADGENN ?= 40
+LOADGENRATE ?= 40
+loadgen-smoke:
+	$(GO) build -o build/rar ./cmd/rar
+	$(GO) build -o build/loadgen ./cmd/loadgen
+	@set -e; \
+	./build/rar -serve $(LOADGENADDR) -j 4 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(LOADGENADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test $$up = 1 || { echo "loadgen-smoke: server never came up"; exit 1; }; \
+	./build/loadgen -addr http://$(LOADGENADDR) -n $(LOADGENN) -rate $(LOADGENRATE) \
+		-bench s1196,s1423 -approach grar -out BENCH_serve.json; \
+	grep -q '"achieved_rps": [1-9]' BENCH_serve.json \
+		|| { echo "loadgen-smoke: no achieved throughput in BENCH_serve.json"; cat BENCH_serve.json; exit 1; }; \
+	grep -q '"p99_ms"' BENCH_serve.json \
+		|| { echo "loadgen-smoke: no p99 latency in BENCH_serve.json"; exit 1; }; \
+	echo "loadgen-smoke ok; wrote BENCH_serve.json"
 
 # Durability smoke: start rar -serve with a journal directory, submit a
 # job, SIGKILL the server before it can be polled, restart on the same

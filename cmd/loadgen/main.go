@@ -1,0 +1,246 @@
+// Command loadgen is the serving-path SLO harness: it replays N
+// synthetic job submissions against a live `rar -serve` instance at a
+// target open-loop arrival rate, times each request end-to-end
+// (submit → terminal status), accounts shed (429) and failed requests,
+// and emits one BENCH_serve.json row with achieved throughput and
+// p50/p95/p99 latency quantiles.
+//
+// Open-loop means arrivals are scheduled on a fixed clock regardless of
+// how fast the server answers — the standard way to expose queueing
+// delay that closed-loop (wait-for-response) generators hide.
+//
+// Exit codes: 0 success, 1 when the run shows an unhealthy server (no
+// completed jobs, dead-lettered jobs, transport errors, or uncertified
+// results).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+// serveSchemaVersion identifies the BENCH_serve.json layout.
+const serveSchemaVersion = 1
+
+// serveRow is the measurement record of one loadgen run.
+type serveRow struct {
+	Benches      string  `json:"benches"`
+	Approach     string  `json:"approach"`
+	Jobs         int     `json:"jobs"`
+	TargetRate   float64 `json:"target_rate"`
+	DurationMS   float64 `json:"duration_ms"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	Done         int     `json:"done"`
+	Dead         int     `json:"dead"`
+	Shed         int     `json:"shed"`
+	Errors       int     `json:"errors"`
+	Certified    int     `json:"certified"`
+	CacheHitRate float64 `json:"cache_hit_ratio"`
+}
+
+// serveDoc is the BENCH_serve.json envelope.
+type serveDoc struct {
+	SchemaVersion int        `json:"schema_version"`
+	Rows          []serveRow `json:"rows"`
+}
+
+// jobReply is the subset of the server's job status the generator needs.
+type jobReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Result *struct {
+		Certified bool `json:"certified"`
+		CacheHit  bool `json:"cache_hit"`
+	} `json:"result"`
+}
+
+// outcome is one submission's accounting.
+type outcome struct {
+	latency   time.Duration
+	done      bool
+	dead      bool
+	shed      bool
+	err       bool
+	certified bool
+	cacheHit  bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the rar -serve instance")
+	n := flag.Int("n", 50, "number of job submissions to replay")
+	rate := flag.Float64("rate", 20, "target open-loop arrival rate (submissions/sec)")
+	benches := flag.String("bench", "s1196", "comma-separated benchmark names, cycled across submissions")
+	approach := flag.String("approach", "grar", "retiming approach for every submission")
+	overhead := flag.Float64("c", 1.0, "error-detecting overhead factor")
+	poll := flag.Duration("poll", 50*time.Millisecond, "status poll interval for queued jobs")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-submission deadline (submit through terminal status)")
+	out := flag.String("out", "", "write the BENCH_serve.json document here (empty = stdout)")
+	flag.Parse()
+
+	list := splitList(*benches)
+	if *n <= 0 || *rate <= 0 || len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: need -n > 0, -rate > 0 and a non-empty -bench list")
+		os.Exit(2)
+	}
+
+	row, healthy := run(*addr, list, *approach, *overhead, *n, *rate, *poll, *jobTimeout)
+	doc := serveDoc{SchemaVersion: serveSchemaVersion, Rows: []serveRow{row}}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+	if *out == "" {
+		os.Stdout.Write(buf.Bytes())
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d jobs @ %.1f/s target: %.1f/s achieved, p50 %.1fms p95 %.1fms p99 %.1fms, done=%d dead=%d shed=%d errors=%d certified=%d\n",
+		row.Jobs, row.TargetRate, row.AchievedRPS, row.P50MS, row.P95MS, row.P99MS,
+		row.Done, row.Dead, row.Shed, row.Errors, row.Certified)
+	if !healthy {
+		fmt.Fprintln(os.Stderr, "loadgen: run unhealthy (no completions, deaths, errors, or uncertified results)")
+		os.Exit(1)
+	}
+}
+
+// run fires the open-loop schedule and aggregates the outcomes.
+func run(addr string, benches []string, approach string, overhead float64, n int, rate float64, poll, jobTimeout time.Duration) (serveRow, bool) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	interval := time.Duration(float64(time.Second) / rate)
+	results := make([]outcome, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Open-loop: sleep until this submission's scheduled slot, then
+		// fire regardless of in-flight work.
+		time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = submit(client, addr, benches[i%len(benches)], approach, overhead, poll, jobTimeout)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// The quantile estimator is the same log-bucket histogram the server
+	// uses, so client- and server-side percentiles are comparable.
+	h := obs.NewHistogram("loadgen_request_seconds", obs.DefaultLatencyBuckets())
+	row := serveRow{
+		Benches:    strings.Join(benches, ","),
+		Approach:   approach,
+		Jobs:       n,
+		TargetRate: rate,
+		DurationMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	completed := 0
+	cacheHits := 0
+	for _, r := range results {
+		switch {
+		case r.err:
+			row.Errors++
+		case r.shed:
+			row.Shed++
+		case r.dead:
+			row.Dead++
+		case r.done:
+			row.Done++
+			h.Observe(r.latency)
+			completed++
+			if r.certified {
+				row.Certified++
+			}
+			if r.cacheHit {
+				cacheHits++
+			}
+		}
+	}
+	if elapsed > 0 {
+		row.AchievedRPS = float64(completed) / elapsed.Seconds()
+	}
+	if completed > 0 {
+		row.P50MS = float64(h.Quantile(0.50).Microseconds()) / 1000
+		row.P95MS = float64(h.Quantile(0.95).Microseconds()) / 1000
+		row.P99MS = float64(h.Quantile(0.99).Microseconds()) / 1000
+		row.CacheHitRate = float64(cacheHits) / float64(completed)
+	}
+	healthy := row.Done > 0 && row.Dead == 0 && row.Errors == 0 && row.Certified == row.Done
+	return row, healthy
+}
+
+// submit posts one job and follows it to a terminal state.
+func submit(client *http.Client, addr, bench, approach string, overhead float64, poll, jobTimeout time.Duration) outcome {
+	deadline := time.Now().Add(jobTimeout)
+	body, _ := json.Marshal(map[string]any{"bench": bench, "approach": approach, "c": overhead})
+	start := time.Now()
+	resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{err: true}
+	}
+	reply, code := decodeReply(resp)
+	switch code {
+	case http.StatusOK:
+		// Degraded-mode synchronous cache answer: the RTT is the latency.
+		return outcome{latency: time.Since(start), done: true,
+			certified: reply.Result != nil && reply.Result.Certified, cacheHit: true}
+	case http.StatusTooManyRequests:
+		return outcome{shed: true}
+	case http.StatusAccepted:
+	default:
+		return outcome{err: true}
+	}
+	for time.Now().Before(deadline) {
+		time.Sleep(poll)
+		resp, err := client.Get(addr + "/jobs/" + reply.ID)
+		if err != nil {
+			return outcome{err: true}
+		}
+		st, code := decodeReply(resp)
+		if code != http.StatusOK {
+			return outcome{err: true}
+		}
+		switch st.Status {
+		case "done":
+			return outcome{latency: time.Since(start), done: true,
+				certified: st.Result != nil && st.Result.Certified,
+				cacheHit:  st.Result != nil && st.Result.CacheHit}
+		case "dead":
+			return outcome{dead: true}
+		}
+	}
+	return outcome{err: true}
+}
+
+// decodeReply drains and decodes a job API response.
+func decodeReply(resp *http.Response) (jobReply, int) {
+	defer resp.Body.Close()
+	var r jobReply
+	json.NewDecoder(resp.Body).Decode(&r)
+	io.Copy(io.Discard, resp.Body)
+	return r, resp.StatusCode
+}
+
+// splitList parses a comma-separated list, dropping empty tokens.
+func splitList(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

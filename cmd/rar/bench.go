@@ -18,8 +18,11 @@ import (
 )
 
 // benchSchemaVersion identifies the BENCH_pipeline.json layout: bumped
-// when rows gain/lose columns or the envelope changes shape.
-const benchSchemaVersion = 2
+// when rows gain/lose columns or the envelope changes shape. v3 made
+// solver/fallback unconditionally present: omitempty on solver meant
+// vlib rows (which have no LP solver) silently dropped the column, so
+// the row schema depended on the approach.
+const benchSchemaVersion = 3
 
 // benchRow is one benchmark×approach measurement of the bench-json mode.
 // Everything except wall_ms is deterministic for a given build, so
@@ -30,7 +33,7 @@ type benchRow struct {
 	WallMS        float64 `json:"wall_ms"`
 	Pivots        int64   `json:"pivots"`
 	Augmentations int64   `json:"augmentations"`
-	Solver        string  `json:"solver,omitempty"`
+	Solver        string  `json:"solver"`
 	Fallback      bool    `json:"fallback"`
 	Slaves        int     `json:"slaves"`
 	Masters       int     `json:"masters"`

@@ -104,6 +104,7 @@ func main() {
 	queueCap := flag.Int("queue-cap", 0, "bound on queued+running jobs in -serve mode; submissions beyond it get 429 (0 = default 1024)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease duration in -serve mode; an expired lease requeues the job (0 = default 2m)")
 	jobRetries := flag.Int("job-retries", 0, "per-job attempt budget in -serve mode before the dead-letter state (0 = default 5)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address in -serve mode (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
 	if *list {
@@ -150,6 +151,7 @@ func main() {
 		queueCap:     *queueCap,
 		leaseTTL:     *leaseTTL,
 		jobRetries:   *jobRetries,
+		debugAddr:    *debugAddr,
 		timeout:      *timeout,
 	}
 
@@ -217,6 +219,7 @@ type options struct {
 	queueCap               int
 	leaseTTL               time.Duration
 	jobRetries             int
+	debugAddr              string
 	timeout                time.Duration
 }
 

@@ -2,8 +2,14 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"relatch/internal/engine"
 	"relatch/internal/obs"
@@ -14,12 +20,15 @@ import (
 // fronted by the HTTP job API. POST /jobs journals and admits a
 // benchmark or inline Verilog netlist (429 + Retry-After when
 // shedding), GET /jobs/{id} polls status with attempt/retry detail,
-// GET /jobs?state=dead inspects the dead letter, /healthz is liveness,
-// /readyz readiness, GET /metrics the obs counters. With -queue-dir
+// GET /jobs/{id}/events streams live stage transitions and solver
+// progress as Server-Sent Events, GET /jobs?state=dead inspects the
+// dead letter, /healthz is liveness, /readyz readiness, GET /metrics
+// the obs counters plus per-stage latency histograms. With -queue-dir
 // the journal survives crashes: restarting on the same directory
-// recovers every queued and in-flight job. SIGINT drains the listener
-// gracefully, then the deferred closes stop the pump, queue and
-// engine; a clean shutdown exits 0.
+// recovers every queued and in-flight job. -debug-addr exposes
+// net/http/pprof on a second, private listener. SIGINT drains the
+// listener gracefully, then the deferred closes stop the pump, queue
+// and engine; a clean shutdown exits 0.
 func runServe(ctx context.Context, o options) error {
 	cache, err := engine.NewCache(0, o.cacheDir)
 	if err != nil {
@@ -27,12 +36,15 @@ func runServe(ctx context.Context, o options) error {
 	}
 	tr := obs.New("serve")
 	defer tr.Finish()
+	stream := tr.EnableStream(0)
+	defer stream.Close()
 	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	metrics := obs.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers:    o.jobs,
 		Cache:      cache,
 		JobTimeout: o.timeout,
+		Metrics:    metrics,
 	})
 	defer eng.Close()
 	q, err := queue.Open(queue.Config{
@@ -41,6 +53,7 @@ func runServe(ctx context.Context, o options) error {
 		LeaseTTL:    o.leaseTTL,
 		MaxAttempts: o.jobRetries,
 		Metrics:     metrics,
+		Events:      stream,
 	})
 	if err != nil {
 		return err
@@ -57,15 +70,62 @@ func runServe(ctx context.Context, o options) error {
 		return err
 	}
 	defer d.Close()
+	coll, err := engine.NewCollector(engine.CollectorConfig{
+		Engine:  eng,
+		Queue:   q,
+		Metrics: metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer coll.Close()
 	srv, err := engine.NewServer(engine.ServerConfig{
 		Durable:        d,
 		Tracer:         tr,
 		Metrics:        metrics,
 		Logger:         logger,
 		RequestTimeout: o.serveTimeout,
+		Stream:         stream,
 	})
 	if err != nil {
 		return err
 	}
+	if o.debugAddr != "" {
+		stop, err := serveDebug(o.debugAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	return srv.ListenAndServe(ctx, o.serveAddr)
+}
+
+// serveDebug starts the private pprof listener and returns its
+// shutdown func. The mux is deliberately separate from the public API
+// mux: profiling endpoints never ride the serving address.
+func serveDebug(addr string, logger *slog.Logger) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rar: debug listener: %w", err)
+	}
+	logger.Info("pprof debug server", "addr", ln.Addr().String())
+	// Buffered so the Serve goroutine can always deposit its exit error
+	// even when shutdown already won (relint chandisc bug class).
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("pprof debug server exit", "err", err)
+		}
+	}, nil
 }

@@ -77,3 +77,55 @@ func (p *Pump) loop() {
 func (p *Pump) leak() {
 	println("leaking")
 }
+
+// Collector mirrors the engine.Collector shape: a constructor spawns a
+// ticker loop joined by WaitGroup Done plus a ctx-bound receive, and
+// Close cancels and waits. Both join signals are sanctioned; the spawn
+// must not be flagged.
+type Collector struct {
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewCollector starts the sampling goroutine its Close joins.
+func NewCollector() *Collector {
+	c := &Collector{}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		default:
+			println("sample")
+		}
+	}
+}
+
+// Close stops and joins the sampler.
+func (c *Collector) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// TickerOrphan spawns a periodic sampler nothing can stop: the classic
+// collector leak the rule must keep catching.
+type TickerOrphan struct{}
+
+// Start leaks the sampling goroutine.
+func (o *TickerOrphan) Start() {
+	go o.sample() // want "fire-and-forget goroutine"
+}
+
+func (o *TickerOrphan) sample() {
+	for {
+		println("sampling forever")
+	}
+}

@@ -54,3 +54,21 @@ func Nested(ctx context.Context) {
 		_ = sp
 	}()
 }
+
+// Subscriber mirrors the SSE handler shape: the span is deferred-Ended
+// up front, then the function loops consuming events with early
+// returns on every exit path. The single defer covers them all — no
+// finding.
+func Subscriber(ctx context.Context, next func() (int, error)) {
+	sp, _ := obs.StartSpan(ctx, "subscriber")
+	defer sp.End()
+	for {
+		ev, err := next()
+		if err != nil {
+			return
+		}
+		if ev < 0 {
+			return
+		}
+	}
+}

@@ -128,6 +128,11 @@ type Result struct {
 	Trace *obs.Report
 
 	Runtime time.Duration
+
+	// CertifyTime is the portion of Runtime spent in the post-solve
+	// certification gate; Runtime - CertifyTime is the solve proper. The
+	// serving engine splits its per-stage latency histograms on it.
+	CertifyTime time.Duration
 }
 
 // staOptions derives the optimization timing options.
@@ -259,6 +264,7 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 	// Post-solve gate: independently certify the output. The result is
 	// returned alongside the error so callers can render the findings.
 	evalOpt := evalOptions(c, opt)
+	certStart := time.Now()
 	crt, err := cert.Run(ctx, cert.Subject{
 		Original:    shape,
 		Retimed:     c,
@@ -280,6 +286,7 @@ func RetimeCtx(ctx context.Context, c *netlist.Circuit, opt Options, approach Ap
 		return nil, fmt.Errorf("core: %s: %w", approach, err)
 	}
 	res.Certificate = crt
+	res.CertifyTime = time.Since(certStart)
 	res.Runtime = time.Since(start)
 	if ferr := crt.Err(); ferr != nil {
 		for i, f := range crt.Findings {

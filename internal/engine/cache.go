@@ -130,6 +130,14 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 // Dir returns the disk layer directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.dir }
 
+// Len returns the number of entries currently resident in the memory
+// layer. The serving collector samples it as a gauge.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

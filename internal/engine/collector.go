@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"relatch/internal/obs"
+	"relatch/internal/queue"
+)
+
+// CollectorConfig configures the background gauge sampler.
+type CollectorConfig struct {
+	// Engine is sampled for worker-pool and cache gauges. Required.
+	Engine *Engine
+	// Queue, when non-nil, is sampled for depth/lease/retry gauges.
+	Queue *queue.Queue
+	// Metrics receives the sampled gauges. Required.
+	Metrics *obs.Registry
+	// Interval between samples (≤ 0 means 1s).
+	Interval time.Duration
+}
+
+// Collector periodically samples point-in-time state — queue depth,
+// leased and retrying jobs, busy workers, resident cache entries — into
+// registry gauges, so /metrics reflects load without making scrapes
+// walk live data structures. Close stops and joins the sampler.
+type Collector struct {
+	cfg    CollectorConfig
+	cancel context.CancelFunc
+	ctx    context.Context
+	wg     sync.WaitGroup
+}
+
+// NewCollector validates the config, takes an initial sample so gauges
+// exist before the first tick, and starts the sampling goroutine.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if cfg.Engine == nil || cfg.Metrics == nil {
+		return nil, fmt.Errorf("engine: %w: collector needs an engine and a registry", ErrBadConfig)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	c := &Collector{cfg: cfg}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.sample()
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// loop ticks until Close cancels the context (the join point).
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.sample()
+		}
+	}
+}
+
+// sample records one snapshot of every gauge.
+func (c *Collector) sample() {
+	m := c.cfg.Metrics
+	m.Set("relatch_engine_workers", int64(c.cfg.Engine.Workers()))
+	m.Set("relatch_engine_workers_busy", int64(c.cfg.Engine.WorkersBusy()))
+	if cache := c.cfg.Engine.Cache(); cache != nil {
+		m.Set("relatch_cache_entries", int64(cache.Len()))
+	}
+	if c.cfg.Queue != nil {
+		st := c.cfg.Queue.Stats()
+		m.Set("relatch_queue_depth", int64(st.Queued))
+		m.Set("relatch_queue_leased", int64(st.Leased))
+		m.Set("relatch_queue_retrying", int64(st.Retrying))
+		m.Set("relatch_queue_done", int64(st.Done))
+		m.Set("relatch_queue_dead", int64(st.Dead))
+	}
+}
+
+// Close stops the sampler and waits for the goroutine to exit.
+// Idempotent and nil-safe.
+func (c *Collector) Close() {
+	if c == nil {
+		return
+	}
+	c.cancel()
+	c.wg.Wait()
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"relatch/internal/obs"
+	"relatch/internal/queue"
+)
+
+func TestCollectorSamplesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := New(Config{Workers: 2, Cache: mustCache(t, 8, "")})
+	defer eng.Close()
+	q, err := queue.Open(queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Enqueue("k1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	coll, err := NewCollector(CollectorConfig{Engine: eng, Queue: q, Metrics: reg, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	// The initial sample runs synchronously in NewCollector.
+	if got := reg.Gauge("relatch_engine_workers"); got != 2 {
+		t.Fatalf("relatch_engine_workers = %d, want 2", got)
+	}
+	if got := reg.Gauge("relatch_queue_depth"); got != 1 {
+		t.Fatalf("relatch_queue_depth = %d, want 1", got)
+	}
+	if got := reg.Gauge("relatch_cache_entries"); got != 0 {
+		t.Fatalf("relatch_cache_entries = %d, want 0", got)
+	}
+
+	// A state change shows up on a later tick.
+	if _, err := q.Enqueue("k2", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("relatch_queue_depth") != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector never sampled queue depth 2 (got %d)", reg.Gauge("relatch_queue_depth"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	coll.Close()
+	coll.Close() // idempotent
+	var nilColl *Collector
+	nilColl.Close() // nil-safe
+}
+
+func TestCollectorRejectsBadConfig(t *testing.T) {
+	if _, err := NewCollector(CollectorConfig{}); err == nil {
+		t.Fatal("collector without engine/registry must refuse")
+	}
+	eng := New(Config{Workers: 1, SolveOverride: func(ctx context.Context, job Job) (*Outcome, error) {
+		return nil, nil
+	}})
+	defer eng.Close()
+	if _, err := NewCollector(CollectorConfig{Engine: eng}); err == nil {
+		t.Fatal("collector without registry must refuse")
+	}
+}

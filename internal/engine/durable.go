@@ -220,6 +220,7 @@ func (d *Durable) worker() {
 func (d *Durable) process(j queue.Job) {
 	sp, ctx := obs.StartSpan(d.ctx, "queue.job")
 	defer sp.End()
+	sp.SetScope(j.ID)
 	sp.Attr("id", j.ID)
 	sp.Attr("attempt", fmt.Sprintf("%d", j.Attempts+1))
 

@@ -31,6 +31,10 @@ type Config struct {
 	// hardened enough that worker crashes and stalls cannot be provoked
 	// from outside otherwise.
 	SolveOverride func(ctx context.Context, job Job) (*Outcome, error)
+	// Metrics, when non-nil, receives the per-stage job latency
+	// histograms (relatch_job_stage_seconds{stage=...}: queue_wait,
+	// solve, certify, total).
+	Metrics *obs.Registry
 }
 
 // Outcome is a completed job: exactly one of Core/VLib is set, according
@@ -228,6 +232,12 @@ type Engine struct {
 	cancel  context.CancelFunc
 	sem     chan struct{}
 	wg      sync.WaitGroup
+	// Per-stage latency histograms, set once in New (nil = inert when
+	// no Config.Metrics registry was supplied); Observe is lock-free.
+	hQueueWait *obs.Histogram
+	hSolve     *obs.Histogram
+	hCertify   *obs.Histogram
+	hTotal     *obs.Histogram
 
 	mu       sync.Mutex
 	inflight map[Key]*call      // guarded by mu
@@ -245,12 +255,16 @@ func New(cfg Config) *Engine {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Engine{
-		cfg:      cfg,
-		baseCtx:  ctx,
-		cancel:   cancel,
-		sem:      make(chan struct{}, cfg.Workers),
-		inflight: make(map[Key]*call),
-		tickets:  make(map[string]*Ticket),
+		cfg:        cfg,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		sem:        make(chan struct{}, cfg.Workers),
+		inflight:   make(map[Key]*call),
+		tickets:    make(map[string]*Ticket),
+		hQueueWait: cfg.Metrics.Histogram(`relatch_job_stage_seconds{stage="queue_wait"}`),
+		hSolve:     cfg.Metrics.Histogram(`relatch_job_stage_seconds{stage="solve"}`),
+		hCertify:   cfg.Metrics.Histogram(`relatch_job_stage_seconds{stage="certify"}`),
+		hTotal:     cfg.Metrics.Histogram(`relatch_job_stage_seconds{stage="total"}`),
 	}
 }
 
@@ -260,6 +274,13 @@ func (e *Engine) Cache() *Cache { return e.cfg.Cache }
 // Saturated reports whether every worker slot is currently occupied —
 // the signal the serve layer uses to fall back to cache-only answers.
 func (e *Engine) Saturated() bool { return len(e.sem) == cap(e.sem) }
+
+// Workers returns the size of the worker pool.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// WorkersBusy returns how many worker slots are occupied right now —
+// a point-in-time sample for the gauge collector.
+func (e *Engine) WorkersBusy() int { return len(e.sem) }
 
 // CachedOutcome returns a validated cached outcome for the job without
 // consuming a worker slot or touching the queue. It backs the degraded
@@ -385,6 +406,10 @@ func (e *Engine) run(ctx context.Context, t *Ticket, job Job, key Key) {
 	out, err := e.execute(jobCtx, sp, t, job, key)
 	sp.Fail(err)
 	sp.End()
+	if err == nil {
+		_, submitted, _, _ := t.Status()
+		e.hTotal.Observe(time.Since(submitted))
+	}
 
 	e.mu.Lock()
 	if err != nil {
@@ -435,12 +460,14 @@ func (e *Engine) execute(ctx context.Context, sp *obs.Span, t *Ticket, job Job, 
 // the cache, solves with a panic guard under the job deadline, and
 // stores the fresh result.
 func (e *Engine) lead(ctx context.Context, t *Ticket, job Job, key Key) (*Outcome, error) {
+	waitStart := time.Now()
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, fmt.Errorf("engine: %s queued: %w", t.ID, ctx.Err())
 	}
 	defer func() { <-e.sem }()
+	e.hQueueWait.Observe(time.Since(waitStart))
 	t.setRunning()
 
 	if e.cfg.Cache != nil {
@@ -479,6 +506,11 @@ func (e *Engine) solve(ctx context.Context, job Job, key Key) (out *Outcome, err
 	}()
 	start := time.Now()
 	if e.cfg.SolveOverride != nil {
+		defer func() {
+			if err == nil {
+				e.hSolve.Observe(time.Since(start))
+			}
+		}()
 		return e.cfg.SolveOverride(ctx, job)
 	}
 	out = &Outcome{Key: key, Approach: job.Approach}
@@ -494,6 +526,7 @@ func (e *Engine) solve(ctx context.Context, job Job, key Key) (out *Outcome, err
 		if verr != nil {
 			return nil, verr
 		}
+		solveDur := time.Since(start)
 		// The incremental compile resizes gates but never changes logic
 		// functions, hence AllowResizing; without the post-swap the flow
 		// may deliberately leave extra ED latches, hence EDSuperset.
@@ -518,6 +551,8 @@ func (e *Engine) solve(ctx context.Context, job Job, key Key) (out *Outcome, err
 		if ferr := crt.Err(); ferr != nil {
 			return nil, fmt.Errorf("engine: %s: %w", key.Short(), ferr)
 		}
+		e.hSolve.Observe(solveDur)
+		e.hCertify.Observe(time.Since(start) - solveDur)
 	} else {
 		res, rerr := core.RetimeCtx(ctx, job.Circuit.Clone(), job.Options, job.Approach.CoreApproach())
 		if rerr != nil {
@@ -526,6 +561,8 @@ func (e *Engine) solve(ctx context.Context, job Job, key Key) (out *Outcome, err
 			return nil, rerr
 		}
 		out.Core, out.Certificate = res, res.Certificate
+		e.hCertify.Observe(res.CertifyTime)
+		e.hSolve.Observe(res.Runtime - res.CertifyTime)
 	}
 	out.Runtime = time.Since(start)
 	return out, nil

@@ -39,7 +39,18 @@ type ServerConfig struct {
 	Logger *slog.Logger
 	// RequestTimeout bounds each HTTP handler (0 = no limit). Jobs are
 	// asynchronous, so this only cuts slow clients, not running solves.
+	// The SSE events route is exempt: it is long-lived by design and
+	// bounded by client disconnect and stream close instead.
 	RequestTimeout time.Duration
+	// Stream, when non-nil, feeds GET /jobs/{id}/events: the live
+	// span/stage event stream the queue and tracer publish into. Without
+	// it the events route answers 501.
+	Stream *obs.Stream
+	// SSEHeartbeat is the idle interval between `: heartbeat` comment
+	// lines on an events stream (0 = defaultHeartbeat). Heartbeats keep
+	// proxies from idling out the connection and bound how long a
+	// handler lingers after the client vanishes.
+	SSEHeartbeat time.Duration
 }
 
 // Server is the rar -serve HTTP frontend: POST /jobs journals and
@@ -92,7 +103,9 @@ func withRequestID(next http.Handler) http.Handler {
 }
 
 // Handler returns the route table, wrapped in the request-ID middleware
-// and the request timeout.
+// and the request timeout. The SSE events route mounts outside the
+// timeout wrapper: http.TimeoutHandler buffers the response and does
+// not implement http.Flusher, which would break streaming.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -106,11 +119,14 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
-	var h http.Handler = withRequestID(mux)
-	if s.cfg.RequestTimeout <= 0 {
-		return h
+	var timed http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		timed = http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
 	}
-	return http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out\n")
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	outer.Handle("/", timed)
+	return withRequestID(outer)
 }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
@@ -134,6 +150,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case <-ctx.Done():
 	}
 	s.cfg.Logger.Info("shutting down")
+	// Close the event stream first: SSE handlers block in Next and would
+	// otherwise hold Shutdown for the full drain window.
+	s.cfg.Stream.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -22,6 +22,8 @@ type testStack struct {
 	q       *queue.Queue
 	d       *Durable
 	metrics *obs.Registry
+	tr      *obs.Tracer
+	stream  *obs.Stream
 }
 
 // newTestStack assembles engine+queue+pump with test-friendly knobs.
@@ -34,9 +36,19 @@ func newTestStack(t *testing.T, mutate func(*Config, *queue.Config, *DurableConf
 	if mutate != nil {
 		mutate(&cfg, &qcfg, &dcfg)
 	}
-	st := &testStack{metrics: obs.NewRegistry()}
+	st := &testStack{metrics: obs.NewRegistry(), tr: obs.New("serve-test")}
+	st.stream = st.tr.EnableStream(256)
 	if qcfg.Metrics == nil {
 		qcfg.Metrics = st.metrics
+	}
+	if qcfg.Events == nil {
+		qcfg.Events = st.stream
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = st.metrics
+	}
+	if dcfg.Tracer == nil {
+		dcfg.Tracer = st.tr
 	}
 	st.eng = New(cfg)
 	var err error
@@ -60,9 +72,11 @@ func newTestServer(t *testing.T, mutate func(*Config, *queue.Config, *DurableCon
 	st := newTestStack(t, mutate)
 	srv, err := NewServer(ServerConfig{
 		Durable:        st.d,
-		Tracer:         obs.New("serve-test"),
+		Tracer:         st.tr,
 		Metrics:        st.metrics,
 		RequestTimeout: 30 * time.Second,
+		Stream:         st.stream,
+		SSEHeartbeat:   100 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -402,6 +416,9 @@ func TestServerMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics Content-Type = %q, want Prometheus 0.0.4 exposition", ct)
+	}
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
@@ -413,10 +430,21 @@ func TestServerMetrics(t *testing.T) {
 		`relatch_queue_jobs_total{event="enqueued"} 1`,
 		`relatch_queue_jobs_total{event="completed"} 1`,
 		"relatch_queue_depth 0",
+		"# TYPE relatch_job_stage_seconds histogram",
+		`relatch_job_stage_seconds_count{stage="solve"} 1`,
+		`relatch_job_stage_seconds_count{stage="certify"} 1`,
+		`relatch_job_stage_seconds_count{stage="total"} 1`,
+		`relatch_job_stage_seconds_count{stage="queue_wait"} 1`,
+		"relatch_queue_lease_hold_seconds_count 1",
 	} {
 		if !strings.Contains(text, line) {
 			t.Errorf("metrics missing %q:\n%s", line, text)
 		}
+	}
+	// Parser roundtrip: every emitted line must be valid Prometheus text
+	// exposition — names, label escaping, float values, no NaN.
+	if err := obs.ValidateMetrics(strings.NewReader(text)); err != nil {
+		t.Errorf("metrics page does not scrape cleanly: %v", err)
 	}
 }
 

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"relatch/internal/obs"
+	"relatch/internal/queue"
+)
+
+// defaultHeartbeat is the idle interval between SSE heartbeat comments
+// when ServerConfig.SSEHeartbeat is unset.
+const defaultHeartbeat = 5 * time.Second
+
+// spanStage maps pipeline span names to the coarse job stage an SSE
+// consumer sees. Only the spans that mark a stage transition appear
+// here; other spans pass through silently.
+var spanStage = map[string]string{
+	"core.retime": "solving",
+	"vlib.retime": "solving",
+	"cert.run":    "certifying",
+}
+
+// progressCounters whitelists the solver counters streamed as progress
+// events — the iteration-count signals the retiming literature treats
+// as the first-class cost measure.
+var progressCounters = map[string]bool{
+	"pivots":           true,
+	"augmenting_paths": true,
+}
+
+// sseEvent is the JSON payload of one SSE data: line.
+type sseEvent struct {
+	Stage   string `json:"stage,omitempty"`
+	Span    string `json:"span,omitempty"`
+	Counter string `json:"counter,omitempty"`
+	Delta   int64  `json:"delta,omitempty"`
+	AtNS    int64  `json:"at_ns,omitempty"`
+}
+
+// handleEvents streams a job's live stage transitions and solver
+// progress as Server-Sent Events: `event: stage` for lifecycle edges
+// (queued → leased → solving → certifying → done/dead), `event:
+// progress` for whitelisted solver counters, `event: dropped` when the
+// ring overwrote history, and a final `event: end` after a terminal
+// stage. The handler replays whatever the ring retains (honouring
+// Last-Event-ID), then follows live until the job ends, the client
+// disconnects, or the stream closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.cfg.Durable.Queue().Get(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("engine: no job %q", id))
+		return
+	}
+	if s.cfg.Stream == nil {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("engine: event streaming disabled"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("engine: response writer cannot stream"))
+		return
+	}
+	var after uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		after, _ = strconv.ParseUint(lei, 10, 64)
+	}
+	sub, err := s.cfg.Stream.Subscribe(after)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	hb := s.cfg.SSEHeartbeat
+	if hb <= 0 {
+		hb = defaultHeartbeat
+	}
+	for {
+		ev, err := s.nextEvent(r.Context(), sub, hb)
+		switch {
+		case errors.Is(err, obs.ErrLagged):
+			writeSSE(w, fl, 0, "dropped", sseEvent{})
+			continue
+		case errors.Is(err, errHeartbeat):
+			// Idle tick. If the job reached a terminal state but its
+			// stage events already fell off the ring (or finished before
+			// we subscribed to a pruned history), report the terminal
+			// stage instead of heartbeating forever.
+			if st, done := s.terminalStage(id); done {
+				writeSSE(w, fl, 0, "stage", sseEvent{Stage: st})
+				writeSSE(w, fl, 0, "end", sseEvent{Stage: st})
+				return
+			}
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+			continue
+		case err != nil:
+			// Client gone or stream closed — either way the show is over.
+			return
+		}
+		if ev.Scope != id {
+			continue
+		}
+		name, kind, ok := translateEvent(ev)
+		if !ok {
+			continue
+		}
+		out := sseEvent{AtNS: ev.AtNS}
+		switch kind {
+		case "stage":
+			out.Stage = name
+			if ev.Kind == "span_start" {
+				out.Span = ev.Name
+			}
+		case "progress":
+			out.Counter = name
+			out.Delta = ev.Value
+		}
+		writeSSE(w, fl, ev.Seq, kind, out)
+		if kind == "stage" && (name == "done" || name == "dead") {
+			writeSSE(w, fl, 0, "end", sseEvent{Stage: name})
+			return
+		}
+	}
+}
+
+// errHeartbeat is the internal signal that a Next wait idled out while
+// the client is still connected.
+var errHeartbeat = errors.New("heartbeat interval elapsed")
+
+// nextEvent waits up to hb for the next stream event, distinguishing a
+// heartbeat-interval idle (client still there) from a real disconnect.
+func (s *Server) nextEvent(parent context.Context, sub *obs.Subscription, hb time.Duration) (obs.StreamEvent, error) {
+	ctx, cancel := context.WithTimeout(parent, hb)
+	defer cancel()
+	ev, err := sub.Next(ctx)
+	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		return obs.StreamEvent{}, errHeartbeat
+	}
+	return ev, err
+}
+
+// terminalStage reports whether the job has reached a terminal queue
+// state, and which SSE stage name that maps to.
+func (s *Server) terminalStage(id string) (string, bool) {
+	j, ok := s.cfg.Durable.Queue().Get(id)
+	if !ok {
+		return "", false
+	}
+	switch j.State {
+	case queue.StateDone:
+		return "done", true
+	case queue.StateDead:
+		return "dead", true
+	}
+	return "", false
+}
+
+// translateEvent maps a raw stream event to its SSE event kind and
+// payload name; ok is false for events the job feed does not surface.
+func translateEvent(ev obs.StreamEvent) (name, kind string, ok bool) {
+	switch ev.Kind {
+	case "stage":
+		return ev.Name, "stage", true
+	case "span_start":
+		if st, ok := spanStage[ev.Name]; ok {
+			return st, "stage", true
+		}
+	case "counter":
+		if progressCounters[ev.Name] {
+			return ev.Name, "progress", true
+		}
+	}
+	return "", "", false
+}
+
+// writeSSE emits one SSE frame: optional id line, event line, one data
+// line, blank separator, flush.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, seq uint64, event string, payload sseEvent) {
+	if seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", seq)
+	}
+	data, _ := json.Marshal(payload)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}

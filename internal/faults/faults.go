@@ -626,7 +626,8 @@ func Catalog() []Fault {
 		},
 	}
 	catalog = append(catalog, engineFaults(lib)...)
-	return append(catalog, queueFaults()...)
+	catalog = append(catalog, queueFaults()...)
+	return append(catalog, obsFaults()...)
 }
 
 // certSubject assembles a fully consistent fig4 certification subject;

@@ -40,8 +40,8 @@ func TestCatalog(t *testing.T) {
 // least sixteen distinct fault classes must stay registered.
 func TestCatalogCoversRequiredClasses(t *testing.T) {
 	classes := Classes(Catalog())
-	if len(classes) < 22 {
-		t.Fatalf("catalog covers %d classes, want >= 22: %v", len(classes), classes)
+	if len(classes) < 25 {
+		t.Fatalf("catalog covers %d classes, want >= 25: %v", len(classes), classes)
 	}
 	for _, required := range []string{
 		"verilog/comb-cycle",
@@ -60,6 +60,9 @@ func TestCatalogCoversRequiredClasses(t *testing.T) {
 		"engine/cancelled-queue",
 		"engine/deadline",
 		"engine/bad-job",
+		"obs/slow-subscriber",
+		"obs/subscriber-disconnect",
+		"obs/teardown-record",
 	} {
 		if classes[required] == 0 {
 			t.Errorf("required fault class %s missing", required)

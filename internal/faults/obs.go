@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+// obsFaults attacks the live telemetry plane: a subscriber that stops
+// reading, a client that vanishes mid-stream, and a scrape racing a
+// registry teardown. The invariant under attack is the one DESIGN.md
+// pins for the whole telemetry layer: observability must never block,
+// reorder or corrupt the serving path — a slow SSE consumer costs that
+// consumer dropped events (ErrLagged), never a stalled publisher; an
+// abandoned subscription must be releasable without tearing the
+// stream; and a histogram recorded during registry teardown must stay
+// memory-safe while the torn-down registry refuses to render.
+func obsFaults() []Fault {
+	return []Fault{
+		{
+			Name:  "subscriber stops reading while publishers burst",
+			Class: "obs/slow-subscriber",
+			Inject: func(ctx context.Context) error {
+				s := obs.NewStream(8)
+				defer s.Close()
+				sub, err := s.Subscribe(0)
+				if err != nil {
+					return err
+				}
+				defer sub.Close()
+				// Publish far past the ring capacity with nobody reading.
+				// The contract: this loop must finish (never block).
+				done := make(chan struct{})
+				go func() {
+					for i := 0; i < 100; i++ {
+						s.Publish(obs.StreamEvent{Kind: "event", Name: "burst"})
+					}
+					close(done)
+				}()
+				select {
+				case <-done:
+				case <-time.After(2 * time.Second):
+					return nil // publisher blocked on a slow consumer: harness fails on nil
+				}
+				// The lagging subscriber must learn about the gap.
+				if _, err := sub.Next(ctx); !errors.Is(err, obs.ErrLagged) {
+					return nil
+				}
+				return fmt.Errorf("faults: ring overwrote unread events without blocking: %w", obs.ErrLagged)
+			},
+		},
+		{
+			Name:  "client disconnects and abandons its subscription",
+			Class: "obs/subscriber-disconnect",
+			Inject: func(ctx context.Context) error {
+				s := obs.NewStream(8)
+				defer s.Close()
+				sub, err := s.Subscribe(0)
+				if err != nil {
+					return err
+				}
+				// A dead client manifests as a cancelled context: the
+				// blocked read must return promptly, not hang.
+				gone, cancel := context.WithCancel(ctx)
+				cancel()
+				if _, err := sub.Next(gone); err == nil {
+					return nil
+				}
+				// The handler's cleanup path must fully detach the
+				// subscription — anything left attached is a leak.
+				sub.Close()
+				if s.Subscribers() != 0 {
+					return nil
+				}
+				_, err = sub.Next(ctx)
+				if !errors.Is(err, obs.ErrClosed) {
+					return nil
+				}
+				return fmt.Errorf("faults: disconnect released the subscription: %w", err)
+			},
+		},
+		{
+			Name:  "histogram records racing a registry teardown",
+			Class: "obs/teardown-record",
+			Inject: func(ctx context.Context) error {
+				r := obs.NewRegistry()
+				h := r.Histogram("faults_teardown_seconds")
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							h.Observe(time.Millisecond)
+						}
+					}
+				}()
+				// Tear the registry down while records are in flight: the
+				// vended histogram must stay memory-safe, and a scrape
+				// against the closed registry must refuse, not render a
+				// half-torn page.
+				r.Close()
+				err := r.WriteMetrics(io.Discard)
+				close(stop)
+				wg.Wait()
+				if !errors.Is(err, obs.ErrClosed) {
+					return nil
+				}
+				return fmt.Errorf("faults: closed registry refused the scrape: %w", err)
+			},
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateMetrics checks that every line of r is valid Prometheus text
+// exposition (version 0.0.4): metric and label names match the spec
+// grammar, label values are correctly quoted and escaped, sample values
+// parse as floats and are never NaN, and `# TYPE` lines carry a known
+// type keyword. It is the parser-roundtrip gate behind the /metrics
+// tests: whatever the exporters emit must scrape cleanly.
+func ValidateMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		var err error
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			err = validateMetricComment(line)
+		default:
+			err = validateMetricSample(line)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: metrics line %d (%q): %w", n, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading metrics: %w", err)
+	}
+	return nil
+}
+
+func isMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func isLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// validateMetricComment accepts `# HELP name text`, `# TYPE name kind`
+// and plain comments (any other `#` line, per the format spec).
+func validateMetricComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // plain comment
+	}
+	if !isMetricName(fields[2]) {
+		return fmt.Errorf("bad metric name %q in %s line", fields[2], fields[1])
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line needs exactly one type keyword")
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// validateMetricSample checks one sample line:
+// name[{label="value",...}] value [timestamp]
+func validateMetricSample(line string) error {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("no value")
+	}
+	if !isMetricName(rest[:nameEnd]) {
+		return fmt.Errorf("bad metric name %q", rest[:nameEnd])
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = validateLabelSet(rest)
+		if err != nil {
+			return err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if math.IsNaN(v) {
+		return fmt.Errorf("NaN sample value")
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+// validateLabelSet consumes a leading {label="value",...} block and
+// returns the remainder of the line.
+func validateLabelSet(s string) (string, error) {
+	s = s[1:] // consume '{'
+	for {
+		if s == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		if !isLabelName(s[:eq]) {
+			return "", fmt.Errorf("bad label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated label value")
+			}
+			switch s[0] {
+			case '\\':
+				if len(s) < 2 || (s[1] != '\\' && s[1] != '"' && s[1] != 'n') {
+					return "", fmt.Errorf("bad escape in label value")
+				}
+				s = s[2:]
+				continue
+			case '"':
+				s = s[1:]
+			default:
+				s = s[1:]
+				continue
+			}
+			break
+		}
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+		default:
+			return "", fmt.Errorf("expected ',' or '}' after label value")
+		}
+	}
+}

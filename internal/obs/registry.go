@@ -16,8 +16,10 @@ import (
 // the Span conventions.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]int64 // guarded by mu
-	gauges   map[string]int64 // guarded by mu
+	counters map[string]int64      // guarded by mu
+	gauges   map[string]int64      // guarded by mu
+	hists    map[string]*Histogram // guarded by mu (the *Histogram itself is lock-free)
+	closed   bool                  // guarded by mu
 }
 
 // NewRegistry builds an empty registry.
@@ -25,7 +27,22 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
+		hists:    make(map[string]*Histogram),
 	}
+}
+
+// Close marks the registry torn down: later Add/Set calls are dropped,
+// Histogram stops vending (returns nil, whose record path is a no-op)
+// and WriteMetrics refuses with ErrClosed. Histograms vended before the
+// close stay safe to Observe — the records just never render again.
+// Idempotent and nil-safe.
+func (r *Registry) Close() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
 }
 
 // Add increments a monotonic counter. The name may carry a literal
@@ -35,7 +52,9 @@ func (r *Registry) Add(name string, delta int64) {
 		return
 	}
 	r.mu.Lock()
-	r.counters[name] += delta
+	if !r.closed {
+		r.counters[name] += delta
+	}
 	r.mu.Unlock()
 }
 
@@ -45,8 +64,33 @@ func (r *Registry) Set(name string, v int64) {
 		return
 	}
 	r.mu.Lock()
-	r.gauges[name] = v
+	if !r.closed {
+		r.gauges[name] = v
+	}
 	r.mu.Unlock()
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it with DefaultLatencyBuckets on first use. The name may
+// carry a literal Prometheus label set, e.g.
+// `relatch_job_stage_seconds{stage="solve"}`; the `_bucket` exposition
+// merges `le` into it. Returns nil — an inert histogram — on a nil or
+// closed registry, so record sites need no guards.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(name, DefaultLatencyBuckets())
+		r.hists[name] = h
+	}
+	return h
 }
 
 // Counter returns a counter's accumulated value (0 when absent).
@@ -69,13 +113,21 @@ func (r *Registry) Gauge(name string) int64 {
 	return r.gauges[name]
 }
 
-// WriteMetrics renders every counter and gauge in Prometheus text
-// format, sorted by name so output is diff-stable.
+// WriteMetrics renders every counter, gauge and histogram in
+// Prometheus text format, sorted by name so output is diff-stable.
+// Histograms render after the scalar lines, with one `# TYPE ...
+// histogram` header per base name even when several label sets share
+// it. A closed registry refuses with a wrapped ErrClosed — scrapes
+// racing a teardown get an error, never a half-rendered page.
 func (r *Registry) WriteMetrics(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("obs: write metrics: registry %w", ErrClosed)
+	}
 	lines := make([]string, 0, len(r.counters)+len(r.gauges))
 	for k, v := range r.counters {
 		lines = append(lines, fmt.Sprintf("%s %d", k, v))
@@ -83,10 +135,26 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	for k, v := range r.gauges {
 		lines = append(lines, fmt.Sprintf("%s %d", k, v))
 	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, name := range sortedKeys(r.hists) {
+		hists = append(hists, r.hists[name])
+	}
 	r.mu.Unlock()
 	sort.Strings(lines)
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	lastBase := ""
+	for _, h := range hists {
+		if base, _ := splitMetricName(h.name); base != lastBase {
+			lastBase = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+		}
+		if err := h.writeSeries(w); err != nil {
 			return err
 		}
 	}

@@ -99,6 +99,10 @@ type Job struct {
 	Lease       uint64
 	Result      json.RawMessage
 	EnqueuedAt  time.Time
+	// LeasedAt is when the current lease was taken (zero when not
+	// leased, and after a restart replay — recovered leases are requeued
+	// anyway). It feeds the lease-hold histogram on settlement.
+	LeasedAt time.Time
 }
 
 // StatusAt renders the lifecycle state for displays: a queued job still
@@ -139,8 +143,16 @@ type Config struct {
 	// ≤ 0 means 1024.
 	RetainTerminal int
 	// Metrics, when non-nil, receives relatch_queue_* counters/gauges
-	// on every transition.
+	// on every transition, plus the lease-hold and retry-delay
+	// histograms.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives a "stage" StreamEvent (scope =
+	// job ID) on every lifecycle transition: queued, leased, done,
+	// retrying, dead. Published under the queue lock, so subscribers
+	// observe stages in state-machine order; the stream itself never
+	// blocks (drop-oldest ring), so a slow SSE client cannot stall a
+	// transition.
+	Events *obs.Stream
 	// Clock and Jitter are injectable for tests (defaults: time.Now and
 	// math/rand).
 	Clock  func() time.Time
@@ -215,6 +227,10 @@ var (
 // use.
 type Queue struct {
 	cfg Config
+	// hLeaseHold / hRetryDelay are set once in Open (before the queue is
+	// shared) and immutable after; their record path is lock-free.
+	hLeaseHold  *obs.Histogram
+	hRetryDelay *obs.Histogram
 
 	mu      sync.Mutex
 	j       *journal        // guarded by mu (nil when memory-only)
@@ -236,6 +252,8 @@ type Queue struct {
 func Open(cfg Config) (*Queue, error) {
 	cfg = cfg.withDefaults()
 	q := &Queue{cfg: cfg, jobs: make(map[string]*job)}
+	q.hLeaseHold = cfg.Metrics.Histogram("relatch_queue_lease_hold_seconds")
+	q.hRetryDelay = cfg.Metrics.Histogram("relatch_queue_retry_delay_seconds")
 	if cfg.Dir == "" {
 		q.updateGaugesLocked()
 		return q, nil
@@ -533,11 +551,20 @@ func (q *Queue) Enqueue(key string, payload []byte) (Job, error) {
 	q.order = append(q.order, jb.ID)
 	q.counts.Enqueued++
 	q.cfg.Metrics.Add(`relatch_queue_jobs_total{event="enqueued"}`, 1)
+	q.publishStageLocked(jb.ID, "queued")
 	q.updateGaugesLocked()
 	if err := q.maybeCompactLocked(); err != nil {
 		return Job{}, err
 	}
 	return jb.Job, nil
+}
+
+// publishStageLocked emits one lifecycle stage event for live (SSE)
+// consumers. Publishing while q.mu is held serializes the stage stream
+// with the state machine — a subscriber can never see "leased" before
+// "queued" — and stays safe because Stream.Publish never blocks.
+func (q *Queue) publishStageLocked(id, stage string) {
+	q.cfg.Events.Publish(obs.StreamEvent{Kind: "stage", Scope: id, Name: stage})
 }
 
 // Lease hands the oldest eligible job to a worker under a TTL-bounded,
@@ -567,7 +594,9 @@ func (q *Queue) Lease() (Job, bool, error) {
 		jb.State = StateLeased
 		jb.Lease = tok
 		jb.LeaseExpiry = expiry
+		jb.LeasedAt = now
 		q.cfg.Metrics.Add(`relatch_queue_jobs_total{event="leased"}`, 1)
+		q.publishStageLocked(jb.ID, "leased")
 		q.updateGaugesLocked()
 		if err := q.maybeCompactLocked(); err != nil {
 			return Job{}, false, err
@@ -612,11 +641,24 @@ func (q *Queue) Complete(id string, lease uint64, result []byte) error {
 	jb.Result = res
 	jb.LastError = ""
 	jb.Lease, jb.LeaseExpiry = 0, time.Time{}
+	q.observeLeaseHoldLocked(jb)
 	q.counts.Completed++
 	q.cfg.Metrics.Add(`relatch_queue_jobs_total{event="completed"}`, 1)
+	q.publishStageLocked(jb.ID, "done")
 	q.trimTerminalLocked()
 	q.updateGaugesLocked()
 	return q.maybeCompactLocked()
+}
+
+// observeLeaseHoldLocked records how long the settling worker held its
+// lease and clears the mark. Replay-recovered jobs carry a zero
+// LeasedAt and record nothing.
+func (q *Queue) observeLeaseHoldLocked(jb *job) {
+	if jb.LeasedAt.IsZero() {
+		return
+	}
+	q.hLeaseHold.Observe(q.cfg.Clock().Sub(jb.LeasedAt))
+	jb.LeasedAt = time.Time{}
 }
 
 // Fail settles a leased attempt as failed: the job re-queues with
@@ -671,8 +713,11 @@ func (q *Queue) failLocked(jb *job, cause string) error {
 	jb.LastError = cause
 	jb.NextRetry = next
 	jb.Lease, jb.LeaseExpiry = 0, time.Time{}
+	q.observeLeaseHoldLocked(jb)
+	q.hRetryDelay.Observe(delay)
 	q.counts.Retries++
 	q.cfg.Metrics.Add("relatch_queue_retries_total", 1)
+	q.publishStageLocked(jb.ID, "retrying")
 	q.updateGaugesLocked()
 	return q.maybeCompactLocked()
 }
@@ -690,8 +735,10 @@ func (q *Queue) markDeadLocked(jb *job, attempts int, cause string) error {
 	jb.State = StateDead
 	jb.LastError = cause
 	jb.Lease, jb.LeaseExpiry = 0, time.Time{}
+	q.observeLeaseHoldLocked(jb)
 	q.counts.DeadTotal++
 	q.cfg.Metrics.Add("relatch_queue_dead_total", 1)
+	q.publishStageLocked(jb.ID, "dead")
 	q.trimTerminalLocked()
 	q.updateGaugesLocked()
 	return q.maybeCompactLocked()

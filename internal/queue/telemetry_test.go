@@ -1,0 +1,144 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+// drainStages reads stage events for one job id off a subscription
+// until want stages arrived or the context dies.
+func drainStages(t *testing.T, sub *obs.Subscription, id string, want int) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var stages []string
+	for len(stages) < want {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("after %v: %v", stages, err)
+		}
+		if ev.Kind == "stage" && ev.Scope == id {
+			stages = append(stages, ev.Name)
+		}
+	}
+	return stages
+}
+
+// TestQueueStageEventsAndHistograms drives one job through the happy
+// path and one through fail→retry→dead, asserting the stage events the
+// SSE layer consumes arrive in lifecycle order and the lease-hold /
+// retry-delay histograms absorb the expected observations.
+func TestQueueStageEventsAndHistograms(t *testing.T) {
+	now := time.Unix(1000, 0)
+	reg := obs.NewRegistry()
+	stream := obs.NewStream(64)
+	q, err := Open(Config{
+		Metrics: reg,
+		Events:  stream,
+		Clock:   func() time.Time { return now },
+		Jitter:  func() float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	sub, err := stream.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Happy path: queued → leased → done, with a lease held for 3s.
+	jb, err := q.Enqueue("happy", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased, ok, err := q.Lease()
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if leased.LeasedAt != now {
+		t.Fatalf("LeasedAt = %v, want %v", leased.LeasedAt, now)
+	}
+	now = now.Add(3 * time.Second)
+	if err := q.Complete(leased.ID, leased.Lease, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	got := drainStages(t, sub, jb.ID, 3)
+	want := []string{"queued", "leased", "done"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("happy path stages = %v, want %v", got, want)
+		}
+	}
+	hold := reg.Histogram("relatch_queue_lease_hold_seconds")
+	if hold.Count() != 1 || hold.Sum() != 3*time.Second {
+		t.Fatalf("lease hold: count=%d sum=%v, want 1 × 3s", hold.Count(), hold.Sum())
+	}
+
+	// Failure path: one retry (with its backoff delay observed), then
+	// killed straight to the dead letter.
+	jb2, err := q.Enqueue("doomed", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, ok, err := q.Lease()
+	if err != nil || !ok {
+		t.Fatalf("lease 2: ok=%v err=%v", ok, err)
+	}
+	if err := q.Fail(l2.ID, l2.Lease, errors.New("transient")); err != nil {
+		t.Fatal(err)
+	}
+	retry := reg.Histogram("relatch_queue_retry_delay_seconds")
+	if retry.Count() != 1 {
+		t.Fatalf("retry delay count = %d, want 1", retry.Count())
+	}
+	now = now.Add(time.Hour) // past any backoff
+	l3, ok, err := q.Lease()
+	if err != nil || !ok {
+		t.Fatalf("lease 3: ok=%v err=%v", ok, err)
+	}
+	if err := q.Kill(l3.ID, l3.Lease, errors.New("permanent")); err != nil {
+		t.Fatal(err)
+	}
+	got2 := drainStages(t, sub, jb2.ID, 5)
+	want2 := []string{"queued", "leased", "retrying", "leased", "dead"}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatalf("failure path stages = %v, want %v", got2, want2)
+		}
+	}
+	// Both the failed and the killed lease held time get observed.
+	if hold.Count() != 3 {
+		t.Fatalf("lease hold count = %d, want 3 (done + fail + kill)", hold.Count())
+	}
+}
+
+// TestQueueWithoutTelemetryConfigured proves the Events/Metrics hooks
+// are fully optional: a bare queue runs the same lifecycle with no
+// stream and no registry attached.
+func TestQueueWithoutTelemetryConfigured(t *testing.T) {
+	q, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	jb, err := q.Enqueue("k", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := q.Lease()
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if err := q.Complete(l.ID, l.Lease, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := q.Get(jb.ID); got.State != StateDone {
+		t.Fatalf("state = %v, want done", got.State)
+	}
+}
