@@ -14,6 +14,10 @@
 #                   regenerate BENCH_serve.json (serving SLO baseline)
 #   make queue-crash-smoke SIGKILL rar -serve mid-job, restart on the
 #                   same -queue-dir, require the job to finish certified
+#   make cluster-smoke three-node sharded cluster on loopback, SIGKILL
+#                   one node mid-run, require every accepted job to
+#                   finish certified; appends a cluster loadgen row to
+#                   BENCH_serve.json
 
 GO      ?= go
 FUZZTIME ?= 10s
@@ -24,7 +28,7 @@ BENCHJOBS ?= 4
 # every built-in profile is additionally linted in-memory.
 LINTBENCHES ?= s1196,s1238,s1423,s1488
 
-.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke loadgen-smoke queue-crash-smoke
+.PHONY: check test vet analyze build race lint certify fuzz-smoke fuzz bench serve-smoke loadgen-smoke queue-crash-smoke cluster-smoke
 
 check: vet analyze build race fuzz-smoke
 
@@ -229,6 +233,84 @@ queue-crash-smoke:
 	curl -fsS http://$(QSMOKEADDR)/readyz >/dev/null \
 		|| { echo "queue-crash-smoke: restarted server not ready"; exit 1; }; \
 	echo "queue-crash-smoke ok"
+
+# Sharded-serving smoke: three rar -serve nodes on loopback form a
+# static cluster (consistent-hash routing, peer cache tier, one journal
+# and cache directory per node). Jobs are submitted round-robin across
+# the nodes, one node is SIGKILLed mid-run and restarted on its own
+# -queue-dir, and every accepted job must still reach done with a clean
+# certificate — the degrade-never-fail routing and PR 6 crash recovery
+# composed over real HTTP. Forwarded jobs are polled at the owner shard
+# the submit response names in X-Cluster-Node — the node whose journal
+# durably holds the job — so polling survives the accepting node's
+# restart. Finally a
+# cluster-mode loadgen row is appended to BENCH_serve.json next to the
+# single-node baseline.
+CS1 ?= 127.0.0.1:18451
+CS2 ?= 127.0.0.1:18452
+CS3 ?= 127.0.0.1:18453
+CSPEERS = n1=http://$(CS1),n2=http://$(CS2),n3=http://$(CS3)
+cluster-smoke:
+	$(GO) build -o build/rar ./cmd/rar
+	$(GO) build -o build/loadgen ./cmd/loadgen
+	@set -e; \
+	d=$$(mktemp -d); p1=; p2=; p3=; \
+	trap 'kill -9 $$p1 $$p2 $$p3 2>/dev/null || true; rm -rf $$d' EXIT; \
+	./build/rar -serve $(CS1) -j 2 -node-id n1 -peers '$(CSPEERS)' -queue-dir $$d/q1 -cache-dir $$d/c1 & p1=$$!; \
+	./build/rar -serve $(CS2) -j 2 -node-id n2 -peers '$(CSPEERS)' -queue-dir $$d/q2 -cache-dir $$d/c2 & p2=$$!; \
+	./build/rar -serve $(CS3) -j 2 -node-id n3 -peers '$(CSPEERS)' -queue-dir $$d/q3 -cache-dir $$d/c3 & p3=$$!; \
+	for a in $(CS1) $(CS2) $(CS3); do \
+		up=0; for i in $$(seq 1 50); do \
+			if curl -fsS http://$$a/healthz >/dev/null 2>&1; then up=1; break; fi; \
+			sleep 0.2; \
+		done; \
+		test $$up = 1 || { echo "cluster-smoke: $$a never came up"; exit 1; }; \
+	done; \
+	: > $$d/jobs; \
+	submit() { \
+		resp=$$(curl -fsS -D $$d/hdr -X POST http://$$1/jobs \
+			-d "{\"bench\":\"s1196\",\"approach\":\"grar\",\"c\":$$2}") \
+			|| { echo "cluster-smoke: submit to $$1 failed"; exit 1; }; \
+		id=$$(printf '%s' "$$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+		test -n "$$id" || { echo "cluster-smoke: no job id from $$1: $$resp"; exit 1; }; \
+		owner=$$(sed -n 's/^[Xx]-[Cc]luster-[Nn]ode: *\([a-z0-9]*\).*/\1/p' $$d/hdr); \
+		case "$$owner" in \
+			n1) a=$(CS1);; n2) a=$(CS2);; n3) a=$(CS3);; *) a=$$1;; \
+		esac; \
+		echo "$$a $$id" >> $$d/jobs; \
+	}; \
+	submit $(CS1) 1.0; submit $(CS2) 1.1; submit $(CS3) 1.2; \
+	submit $(CS1) 1.3; submit $(CS2) 1.4; \
+	kill -9 $$p3; wait $$p3 2>/dev/null || true; \
+	echo "cluster-smoke: killed n3 (pid $$p3) mid-run"; \
+	submit $(CS1) 1.5; submit $(CS2) 1.6; \
+	submit $(CS1) 1.7; submit $(CS2) 1.8; \
+	./build/rar -serve $(CS3) -j 2 -node-id n3 -peers '$(CSPEERS)' -queue-dir $$d/q3 -cache-dir $$d/c3 & p3=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(CS3)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test $$up = 1 || { echo "cluster-smoke: n3 never came back"; exit 1; }; \
+	while read a id; do \
+		ok=0; out=; for i in $$(seq 1 300); do \
+			out=$$(curl -fsS http://$$a/jobs/$$id 2>/dev/null || true); \
+			case "$$out" in \
+				*'"status":"done"'*) \
+					case "$$out" in *'"certified":true'*) ok=1;; esac; break;; \
+				*'"status":"dead"'*) echo "cluster-smoke: job $$id dead: $$out"; exit 1;; \
+			esac; \
+			sleep 0.2; \
+		done; \
+		test $$ok = 1 || { echo "cluster-smoke: job $$id on $$a never finished certified: $$out"; exit 1; }; \
+	done < $$d/jobs; \
+	echo "cluster-smoke: all $$(wc -l < $$d/jobs) accepted jobs done-certified"; \
+	curl -fsS http://$(CS1)/metrics | grep -q '^relatch_cluster_peers 2$$' \
+		|| { echo "cluster-smoke: n1 metrics missing the peers gauge"; exit 1; }; \
+	./build/loadgen -addr http://$(CS1),http://$(CS2),http://$(CS3) \
+		-n 30 -rate 30 -bench s1196,s1423 -approach grar -append -out BENCH_serve.json; \
+	grep -q '"mode": "cluster"' BENCH_serve.json \
+		|| { echo "cluster-smoke: no cluster row in BENCH_serve.json"; exit 1; }; \
+	echo "cluster-smoke ok"
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/verilog/

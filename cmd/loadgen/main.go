@@ -1,13 +1,21 @@
 // Command loadgen is the serving-path SLO harness: it replays N
-// synthetic job submissions against a live `rar -serve` instance at a
-// target open-loop arrival rate, times each request end-to-end
-// (submit → terminal status), accounts shed (429) and failed requests,
-// and emits one BENCH_serve.json row with achieved throughput and
-// p50/p95/p99 latency quantiles.
+// synthetic job submissions against one or more live `rar -serve`
+// instances at a target open-loop arrival rate, times each request
+// end-to-end (submit → terminal status), accounts shed (429) and
+// failed requests, and emits one BENCH_serve.json row with achieved
+// throughput and p50/p95/p99 latency quantiles.
 //
 // Open-loop means arrivals are scheduled on a fixed clock regardless of
 // how fast the server answers — the standard way to expose queueing
 // delay that closed-loop (wait-for-response) generators hide.
+//
+// -addr accepts a comma-separated target list; submissions round-robin
+// across the nodes (each job is polled on the node that accepted it,
+// which proxies forwarded jobs to their owner shard), per-node
+// accounting prints to stderr, and the row records the cluster mode and
+// peer-cache hit ratio. -token authenticates against an -auth-file
+// gated deployment. -append merges the row into an existing document
+// instead of replacing it.
 //
 // Exit codes: 0 success, 1 when the run shows an unhealthy server (no
 // completed jobs, dead-lettered jobs, transport errors, or uncertified
@@ -22,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,13 +38,21 @@ import (
 	"relatch/internal/obs"
 )
 
-// serveSchemaVersion identifies the BENCH_serve.json layout.
-const serveSchemaVersion = 1
+// serveSchemaVersion identifies the BENCH_serve.json layout. v2 adds
+// mode ("single"/"cluster"), the target count and the peer-cache hit
+// ratio.
+const serveSchemaVersion = 2
+
+// maxSnippet bounds how much of an error response body is kept for the
+// error-class accounting.
+const maxSnippet = 120
 
 // serveRow is the measurement record of one loadgen run.
 type serveRow struct {
 	Benches      string  `json:"benches"`
 	Approach     string  `json:"approach"`
+	Mode         string  `json:"mode"`
+	Targets      int     `json:"targets"`
 	Jobs         int     `json:"jobs"`
 	TargetRate   float64 `json:"target_rate"`
 	DurationMS   float64 `json:"duration_ms"`
@@ -49,6 +66,7 @@ type serveRow struct {
 	Errors       int     `json:"errors"`
 	Certified    int     `json:"certified"`
 	CacheHitRate float64 `json:"cache_hit_ratio"`
+	PeerHitRate  float64 `json:"peer_hit_ratio"`
 }
 
 // serveDoc is the BENCH_serve.json envelope.
@@ -62,24 +80,28 @@ type jobReply struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	Result *struct {
-		Certified bool `json:"certified"`
-		CacheHit  bool `json:"cache_hit"`
+		Certified  bool   `json:"certified"`
+		CacheHit   bool   `json:"cache_hit"`
+		CacheLayer string `json:"cache_layer"`
 	} `json:"result"`
 }
 
 // outcome is one submission's accounting.
 type outcome struct {
-	latency   time.Duration
-	done      bool
-	dead      bool
-	shed      bool
-	err       bool
-	certified bool
-	cacheHit  bool
+	target     string
+	latency    time.Duration
+	done       bool
+	dead       bool
+	shed       bool
+	err        bool
+	errClass   string
+	certified  bool
+	cacheHit   bool
+	cacheLayer string
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the rar -serve instance")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "comma-separated base URLs of rar -serve instances; submissions round-robin across them")
 	n := flag.Int("n", 50, "number of job submissions to replay")
 	rate := flag.Float64("rate", 20, "target open-loop arrival rate (submissions/sec)")
 	benches := flag.String("bench", "s1196", "comma-separated benchmark names, cycled across submissions")
@@ -87,17 +109,28 @@ func main() {
 	overhead := flag.Float64("c", 1.0, "error-detecting overhead factor")
 	poll := flag.Duration("poll", 50*time.Millisecond, "status poll interval for queued jobs")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-submission deadline (submit through terminal status)")
+	token := flag.String("token", "", "bearer token for an -auth-file gated deployment (empty = no Authorization header)")
 	out := flag.String("out", "", "write the BENCH_serve.json document here (empty = stdout)")
+	appendRow := flag.Bool("append", false, "merge the row into an existing -out document instead of replacing it")
 	flag.Parse()
 
+	targets := splitList(*addr)
 	list := splitList(*benches)
-	if *n <= 0 || *rate <= 0 || len(list) == 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: need -n > 0, -rate > 0 and a non-empty -bench list")
+	if *n <= 0 || *rate <= 0 || len(list) == 0 || len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: need -n > 0, -rate > 0, a non-empty -bench list and at least one -addr")
 		os.Exit(2)
 	}
 
-	row, healthy := run(*addr, list, *approach, *overhead, *n, *rate, *poll, *jobTimeout)
+	row, results, healthy := run(targets, *token, list, *approach, *overhead, *n, *rate, *poll, *jobTimeout)
 	doc := serveDoc{SchemaVersion: serveSchemaVersion, Rows: []serveRow{row}}
+	if *appendRow && *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old serveDoc
+			if json.Unmarshal(prev, &old) == nil && len(old.Rows) > 0 {
+				doc.Rows = append(old.Rows, row)
+			}
+		}
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -108,17 +141,72 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d jobs @ %.1f/s target: %.1f/s achieved, p50 %.1fms p95 %.1fms p99 %.1fms, done=%d dead=%d shed=%d errors=%d certified=%d\n",
-		row.Jobs, row.TargetRate, row.AchievedRPS, row.P50MS, row.P95MS, row.P99MS,
-		row.Done, row.Dead, row.Shed, row.Errors, row.Certified)
+	fmt.Fprintf(os.Stderr, "loadgen: %d jobs @ %.1f/s target across %d node(s): %.1f/s achieved, p50 %.1fms p95 %.1fms p99 %.1fms, done=%d dead=%d shed=%d errors=%d certified=%d peer_hits=%.0f%%\n",
+		row.Jobs, row.TargetRate, row.Targets, row.AchievedRPS, row.P50MS, row.P95MS, row.P99MS,
+		row.Done, row.Dead, row.Shed, row.Errors, row.Certified, row.PeerHitRate*100)
+	printPerNode(results)
+	printErrorClasses(results)
 	if !healthy {
 		fmt.Fprintln(os.Stderr, "loadgen: run unhealthy (no completions, deaths, errors, or uncertified results)")
 		os.Exit(1)
 	}
 }
 
+// printPerNode breaks the accounting down by target node.
+func printPerNode(results []outcome) {
+	type acc struct{ done, shed, errs, peer int }
+	byNode := map[string]*acc{}
+	var order []string
+	for _, r := range results {
+		a, ok := byNode[r.target]
+		if !ok {
+			a = &acc{}
+			byNode[r.target] = a
+			order = append(order, r.target)
+		}
+		switch {
+		case r.err:
+			a.errs++
+		case r.shed:
+			a.shed++
+		case r.done:
+			a.done++
+			if r.cacheLayer == "peer" {
+				a.peer++
+			}
+		}
+	}
+	if len(order) < 2 {
+		return
+	}
+	sort.Strings(order)
+	for _, t := range order {
+		a := byNode[t]
+		fmt.Fprintf(os.Stderr, "loadgen:   %s: done=%d shed=%d errors=%d peer_hits=%d\n",
+			t, a.done, a.shed, a.errs, a.peer)
+	}
+}
+
+// printErrorClasses summarizes what the failed requests actually said.
+func printErrorClasses(results []outcome) {
+	counts := map[string]int{}
+	for _, r := range results {
+		if r.err && r.errClass != "" {
+			counts[r.errClass]++
+		}
+	}
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(os.Stderr, "loadgen:   error %dx %s\n", counts[c], c)
+	}
+}
+
 // run fires the open-loop schedule and aggregates the outcomes.
-func run(addr string, benches []string, approach string, overhead float64, n int, rate float64, poll, jobTimeout time.Duration) (serveRow, bool) {
+func run(targets []string, token string, benches []string, approach string, overhead float64, n int, rate float64, poll, jobTimeout time.Duration) (serveRow, []outcome, bool) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	interval := time.Duration(float64(time.Second) / rate)
 	results := make([]outcome, n)
@@ -131,7 +219,9 @@ func run(addr string, benches []string, approach string, overhead float64, n int
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = submit(client, addr, benches[i%len(benches)], approach, overhead, poll, jobTimeout)
+			target := targets[i%len(targets)]
+			results[i] = submit(client, target, token, benches[i%len(benches)], approach, overhead, poll, jobTimeout)
+			results[i].target = target
 		}(i)
 	}
 	wg.Wait()
@@ -140,15 +230,22 @@ func run(addr string, benches []string, approach string, overhead float64, n int
 	// The quantile estimator is the same log-bucket histogram the server
 	// uses, so client- and server-side percentiles are comparable.
 	h := obs.NewHistogram("loadgen_request_seconds", obs.DefaultLatencyBuckets())
+	mode := "single"
+	if len(targets) > 1 {
+		mode = "cluster"
+	}
 	row := serveRow{
 		Benches:    strings.Join(benches, ","),
 		Approach:   approach,
+		Mode:       mode,
+		Targets:    len(targets),
 		Jobs:       n,
 		TargetRate: rate,
 		DurationMS: float64(elapsed.Microseconds()) / 1000,
 	}
 	completed := 0
 	cacheHits := 0
+	peerHits := 0
 	for _, r := range results {
 		switch {
 		case r.err:
@@ -167,6 +264,9 @@ func run(addr string, benches []string, approach string, overhead float64, n int
 			if r.cacheHit {
 				cacheHits++
 			}
+			if r.cacheLayer == "peer" {
+				peerHits++
+			}
 		}
 	}
 	if elapsed > 0 {
@@ -177,61 +277,128 @@ func run(addr string, benches []string, approach string, overhead float64, n int
 		row.P95MS = float64(h.Quantile(0.95).Microseconds()) / 1000
 		row.P99MS = float64(h.Quantile(0.99).Microseconds()) / 1000
 		row.CacheHitRate = float64(cacheHits) / float64(completed)
+		row.PeerHitRate = float64(peerHits) / float64(completed)
 	}
 	healthy := row.Done > 0 && row.Dead == 0 && row.Errors == 0 && row.Certified == row.Done
-	return row, healthy
+	return row, results, healthy
 }
 
 // submit posts one job and follows it to a terminal state.
-func submit(client *http.Client, addr, bench, approach string, overhead float64, poll, jobTimeout time.Duration) outcome {
+func submit(client *http.Client, addr, token, bench, approach string, overhead float64, poll, jobTimeout time.Duration) outcome {
 	deadline := time.Now().Add(jobTimeout)
 	body, _ := json.Marshal(map[string]any{"bench": bench, "approach": approach, "c": overhead})
 	start := time.Now()
-	resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := doJSON(client, token, http.MethodPost, addr+"/jobs", body)
 	if err != nil {
-		return outcome{err: true}
+		return outcome{err: true, errClass: "transport: " + trim(err.Error())}
 	}
-	reply, code := decodeReply(resp)
+	reply, code, snippet := decodeReply(resp)
 	switch code {
 	case http.StatusOK:
 		// Degraded-mode synchronous cache answer: the RTT is the latency.
 		return outcome{latency: time.Since(start), done: true,
-			certified: reply.Result != nil && reply.Result.Certified, cacheHit: true}
+			certified: reply.Result != nil && reply.Result.Certified, cacheHit: true,
+			cacheLayer: cacheLayerOf(reply)}
 	case http.StatusTooManyRequests:
 		return outcome{shed: true}
 	case http.StatusAccepted:
 	default:
-		return outcome{err: true}
+		return outcome{err: true, errClass: errorReason(code, snippet)}
 	}
 	for time.Now().Before(deadline) {
 		time.Sleep(poll)
-		resp, err := client.Get(addr + "/jobs/" + reply.ID)
+		resp, err := doJSON(client, token, http.MethodGet, addr+"/jobs/"+reply.ID, nil)
 		if err != nil {
-			return outcome{err: true}
+			return outcome{err: true, errClass: "transport: " + trim(err.Error())}
 		}
-		st, code := decodeReply(resp)
+		st, code, snippet := decodeReply(resp)
 		if code != http.StatusOK {
-			return outcome{err: true}
+			return outcome{err: true, errClass: errorReason(code, snippet)}
 		}
 		switch st.Status {
 		case "done":
 			return outcome{latency: time.Since(start), done: true,
-				certified: st.Result != nil && st.Result.Certified,
-				cacheHit:  st.Result != nil && st.Result.CacheHit}
+				certified:  st.Result != nil && st.Result.Certified,
+				cacheHit:   st.Result != nil && st.Result.CacheHit,
+				cacheLayer: cacheLayerOf(st)}
 		case "dead":
 			return outcome{dead: true}
 		}
 	}
-	return outcome{err: true}
+	return outcome{err: true, errClass: "timeout: job not terminal within deadline"}
 }
 
-// decodeReply drains and decodes a job API response.
-func decodeReply(resp *http.Response) (jobReply, int) {
+// doJSON sends one request with the JSON content negotiation and
+// authorization headers every exchange needs.
+func doJSON(client *http.Client, token, method, url string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	return client.Do(req)
+}
+
+func cacheLayerOf(r jobReply) string {
+	if r.Result == nil {
+		return ""
+	}
+	return r.Result.CacheLayer
+}
+
+// decodeReply drains a job API response, returning the decoded reply,
+// the status code and a body snippet for error classification.
+func decodeReply(resp *http.Response) (jobReply, int, string) {
 	defer resp.Body.Close()
-	var r jobReply
-	json.NewDecoder(resp.Body).Decode(&r)
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	io.Copy(io.Discard, resp.Body)
-	return r, resp.StatusCode
+	var r jobReply
+	json.Unmarshal(raw, &r)
+	return r, resp.StatusCode, bodySnippet(raw)
+}
+
+// errorReason labels a failed exchange for the error-class accounting:
+// the status code plus whatever the server actually said, so a 401
+// ("unauthorized") reads differently from a 400 ("unknown benchmark")
+// instead of both vanishing into one errors counter.
+func errorReason(code int, snippet string) string {
+	reason := fmt.Sprintf("http_%d", code)
+	if snippet != "" {
+		reason += ": " + snippet
+	}
+	return reason
+}
+
+// bodySnippet compresses an error response body to one short line: the
+// JSON "error" field when present (the API's error shape), otherwise
+// the whitespace-collapsed raw text, truncated to maxSnippet.
+func bodySnippet(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return trim(e.Error)
+	}
+	return trim(string(raw))
+}
+
+// trim collapses whitespace runs and truncates to maxSnippet.
+func trim(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > maxSnippet {
+		s = s[:maxSnippet] + "..."
+	}
+	return s
 }
 
 // splitList parses a comma-separated list, dropping empty tokens.

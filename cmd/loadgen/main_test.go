@@ -1,0 +1,78 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestErrorClassification covers how non-2xx answers turn into
+// error-class labels: the JSON error field is preferred, raw bodies are
+// collapsed and truncated, and the status code always leads.
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		code int
+		body string
+		want string
+	}{
+		{"json error field", 401, `{"error":"unknown bearer token"}`,
+			"http_401: unknown bearer token"},
+		{"plain text body", 400, "unknown benchmark \"nope\"\n",
+			`http_400: unknown benchmark "nope"`},
+		{"whitespace collapsed", 500, "engine:\n\t  solver   exploded",
+			"http_500: engine: solver exploded"},
+		{"empty body", 404, "", "http_404"},
+		{"long body truncated", 503, strings.Repeat("x", 500),
+			"http_503: " + strings.Repeat("x", maxSnippet) + "..."},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := errorReason(tc.code, bodySnippet([]byte(tc.body)))
+			if got != tc.want {
+				t.Errorf("errorReason(%d, %q) = %q, want %q", tc.code, tc.body, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSubmitSurfacesErrorBody drives submit against a stub server and
+// checks the non-2xx body lands in the outcome's error class.
+func TestSubmitSurfacesErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") != "application/json" {
+			t.Errorf("submit sent Accept %q, want application/json", r.Header.Get("Accept"))
+		}
+		if r.Header.Get("Authorization") != "Bearer tok-1" {
+			t.Errorf("submit sent Authorization %q, want bearer token", r.Header.Get("Authorization"))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnauthorized)
+		io.WriteString(w, `{"error":"quota exhausted for client ci"}`)
+	}))
+	defer ts.Close()
+
+	out := submit(ts.Client(), ts.URL, "tok-1", "s1196", "grar", 1.0, 0, 0)
+	if !out.err {
+		t.Fatalf("outcome = %+v, want an error", out)
+	}
+	if out.errClass != "http_401: quota exhausted for client ci" {
+		t.Errorf("errClass = %q, want the 401 body surfaced", out.errClass)
+	}
+}
+
+// TestSubmitShedIsNotAnError keeps 429 accounted as shed, not failure.
+func TestSubmitShedIsNotAnError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	out := submit(ts.Client(), ts.URL, "", "s1196", "grar", 1.0, 0, 0)
+	if out.err || !out.shed {
+		t.Fatalf("outcome = %+v, want shed without error", out)
+	}
+}

@@ -105,6 +105,9 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease duration in -serve mode; an expired lease requeues the job (0 = default 2m)")
 	jobRetries := flag.Int("job-retries", 0, "per-job attempt budget in -serve mode before the dead-letter state (0 = default 5)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this private address in -serve mode (e.g. 127.0.0.1:6060; empty = off)")
+	peers := flag.String("peers", "", "static cluster membership for -serve as comma-separated id=url pairs (self's URL may be empty); enables sharded routing and the peer cache tier")
+	nodeID := flag.String("node-id", "", "this node's ID within -peers (required when -peers is set)")
+	authFile := flag.String("auth-file", "", "JSON client-policy file gating the -serve API: bearer tokens with rate limits and quotas (empty = open API)")
 	flag.Parse()
 
 	if *list {
@@ -152,6 +155,9 @@ func main() {
 		leaseTTL:     *leaseTTL,
 		jobRetries:   *jobRetries,
 		debugAddr:    *debugAddr,
+		peers:        *peers,
+		nodeID:       *nodeID,
+		authFile:     *authFile,
 		timeout:      *timeout,
 	}
 
@@ -220,6 +226,9 @@ type options struct {
 	leaseTTL               time.Duration
 	jobRetries             int
 	debugAddr              string
+	peers                  string
+	nodeID                 string
+	authFile               string
 	timeout                time.Duration
 }
 

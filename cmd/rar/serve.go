@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"relatch/internal/cluster"
 	"relatch/internal/engine"
 	"relatch/internal/obs"
 	"relatch/internal/queue"
@@ -29,6 +30,13 @@ import (
 // net/http/pprof on a second, private listener. SIGINT drains the
 // listener gracefully, then the deferred closes stop the pump, queue
 // and engine; a clean shutdown exits 0.
+//
+// With -peers/-node-id the node joins a static cluster: submissions
+// for keys another shard owns are forwarded there, local cache misses
+// try the owners' disk caches (every fetched blob is revalidated and
+// re-certified before use), and dead peers degrade to local compute.
+// -auth-file gates the public API behind per-client bearer tokens with
+// token-bucket rate limits and admission quotas.
 func runServe(ctx context.Context, o options) error {
 	cache, err := engine.NewCache(0, o.cacheDir)
 	if err != nil {
@@ -40,6 +48,34 @@ func runServe(ctx context.Context, o options) error {
 	defer stream.Close()
 	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	metrics := obs.NewRegistry()
+	var node *cluster.Node
+	if o.peers != "" {
+		specs, err := cluster.ParsePeers(o.peers)
+		if err != nil {
+			return err
+		}
+		if o.nodeID == "" {
+			return usagef("-peers needs -node-id")
+		}
+		if node, err = cluster.New(cluster.Config{
+			Self:    o.nodeID,
+			Peers:   specs,
+			Metrics: metrics,
+		}); err != nil {
+			return err
+		}
+		cache.SetPeer(node.FetchEntry)
+		logger.Info("cluster member", "node", o.nodeID, "peers", node.Members()-1)
+	} else if o.nodeID != "" {
+		return usagef("-node-id needs -peers")
+	}
+	var auth *cluster.Auth
+	if o.authFile != "" {
+		if auth, err = cluster.OpenAuth(o.authFile, metrics); err != nil {
+			return err
+		}
+		logger.Info("auth enabled", "clients", auth.Clients())
+	}
 	eng := engine.New(engine.Config{
 		Workers:    o.jobs,
 		Cache:      cache,
@@ -86,6 +122,8 @@ func runServe(ctx context.Context, o options) error {
 		Logger:         logger,
 		RequestTimeout: o.serveTimeout,
 		Stream:         stream,
+		Cluster:        node,
+		Auth:           auth,
 	})
 	if err != nil {
 		return err

@@ -281,6 +281,7 @@ var chainPackages = []string{
 	"internal/engine",
 	"internal/queue",
 	"internal/vlib",
+	"internal/cluster",
 }
 
 // funcName renders a FuncDecl name for messages (with receiver type).

@@ -1,0 +1,58 @@
+// cluster.go pins the PR 10 bug class: the cluster package's token
+// bucket and breaker state are annotated `guarded by mu`, and the rule
+// must catch the tempting shapes — recording a metric-adjacent field
+// after the early release, and snapshotting bucket levels lock-free.
+package guardedby
+
+import "sync"
+
+// Gate mirrors cluster.Auth/Breaker: decision state under one mutex,
+// with metrics deliberately recorded after release (the repo's lock
+// order makes these mutexes leaves).
+type Gate struct {
+	mu     sync.Mutex
+	tokens float64 // guarded by mu
+	fails  int     // guarded by mu
+	client string
+}
+
+// Admit is the sanctioned shape: drain the bucket under the lock,
+// return the decision, record metrics on unannotated state afterwards.
+func (g *Gate) Admit() bool {
+	g.mu.Lock()
+	ok := g.tokens >= 1
+	if ok {
+		g.tokens--
+	}
+	g.mu.Unlock()
+	return ok
+}
+
+// Trip releases before charging the failure counter — the bug the
+// metrics-after-unlock convention invites.
+func (g *Gate) Trip() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.fails++ // want "Gate.fails is accessed without holding mu"
+}
+
+// Level snapshots the bucket without any locking at all.
+func (g *Gate) Level() float64 {
+	return g.tokens // want "Gate.tokens is accessed without holding mu"
+}
+
+// refillLocked follows the *Locked convention: callers hold mu.
+func (g *Gate) refillLocked(n float64) {
+	g.tokens += n
+	g.fails = 0
+}
+
+// Refill drives the helper under the lock — the sanctioned split.
+func (g *Gate) Refill() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refillLocked(1)
+}
+
+// Client touches only the unannotated field: no locking required.
+func (g *Gate) Client() string { return g.client }

@@ -1,0 +1,54 @@
+// cluster.go pins the PR 10 bug class: the serving cluster's front-door
+// mutexes (auth policy layer, per-peer circuit breaker) must stay leaf
+// locks. Holding one while acquiring the other — here through two
+// transitive leaf callees, the shape a helper refactor would introduce —
+// closes a cycle between the admission path and the failure path.
+package lockorder
+
+import "sync"
+
+type Auth struct {
+	mu sync.Mutex
+	br *Breaker
+}
+
+type Breaker struct {
+	mu   sync.Mutex
+	auth *Auth
+}
+
+// Admit consults the breaker while still holding the policy lock.
+func (a *Auth) Admit() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.br.allow() // want "lock-order cycle"
+}
+
+// allow is the breaker-side leaf Admit inherits.
+func (b *Breaker) allow() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Trip charges the client while still holding the breaker lock,
+// closing the cycle in the other direction.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.auth.charge() // want "lock-order cycle"
+}
+
+// charge is the auth-side leaf Trip inherits.
+func (a *Auth) charge() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// AdmitThenProbe is the fixed shape the real cluster package uses:
+// decide under one lock, release it, then touch the other. No overlap,
+// no edge.
+func (a *Auth) AdmitThenProbe() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.br.allow()
+}

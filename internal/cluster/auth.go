@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+// Policy is one client's access grant: a bearer token plus the knobs
+// that bound what it may do. Zero Rate/Quota mean unlimited.
+type Policy struct {
+	// Name identifies the client in logs and metrics; never the token.
+	Name string `json:"name"`
+	// Token is the bearer credential presented as
+	// `Authorization: Bearer <token>`.
+	Token string `json:"token"`
+	// Rate is the sustained admission rate in requests/second,
+	// enforced by a token bucket (0 = unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity — how far above Rate a client may
+	// spike (0 = max(Rate, 1)).
+	Burst float64 `json:"burst,omitempty"`
+	// Quota caps total admitted requests over the process lifetime
+	// (0 = unlimited). Exhaustion is terminal until restart or a
+	// raised quota, unlike the self-refilling rate limit.
+	Quota int64 `json:"quota,omitempty"`
+}
+
+// authFile is the on-disk shape -auth-file points at.
+type authFile struct {
+	Clients []Policy `json:"clients"`
+}
+
+// clientState is one client's live accounting. All fields are guarded
+// by Auth.mu (the struct has no mutex of its own; instances only live
+// inside Auth.clients).
+type clientState struct {
+	pol    Policy
+	tokens float64
+	last   time.Time
+	used   int64
+}
+
+// Auth is the front-door policy layer: per-client bearer tokens, a
+// token-bucket rate limit and a lifetime admission quota, with
+// decision accounting in the obs registry
+// (relatch_cluster_auth_total{result=...} plus a per-client admitted
+// counter). The mutex is a leaf in the repo lock order: metrics are
+// recorded after it is released.
+type Auth struct {
+	metrics *obs.Registry
+
+	mu      sync.Mutex
+	clients map[string]*clientState // guarded by mu (keyed by token; states mutate under mu)
+}
+
+// NewAuth builds the policy layer from explicit grants. Tokens must be
+// non-empty and distinct; names must be non-empty (they key metrics).
+func NewAuth(pols []Policy, metrics *obs.Registry) (*Auth, error) {
+	if len(pols) == 0 {
+		return nil, fmt.Errorf("cluster: %w: auth needs at least one client policy", ErrBadConfig)
+	}
+	a := &Auth{metrics: metrics, clients: make(map[string]*clientState, len(pols))}
+	for _, p := range pols {
+		switch {
+		case p.Token == "":
+			return nil, fmt.Errorf("cluster: %w: client %q has an empty token", ErrBadConfig, p.Name)
+		case p.Name == "":
+			return nil, fmt.Errorf("cluster: %w: client policy with an unnamed token", ErrBadConfig)
+		case p.Rate < 0 || p.Burst < 0 || p.Quota < 0:
+			return nil, fmt.Errorf("cluster: %w: client %q has a negative rate, burst or quota", ErrBadConfig, p.Name)
+		}
+		if _, dup := a.clients[p.Token]; dup {
+			return nil, fmt.Errorf("cluster: %w: duplicate token for client %q", ErrBadConfig, p.Name)
+		}
+		if p.Rate > 0 && p.Burst == 0 {
+			p.Burst = p.Rate
+			if p.Burst < 1 {
+				p.Burst = 1
+			}
+		}
+		a.clients[p.Token] = &clientState{pol: p, tokens: p.Burst}
+	}
+	return a, nil
+}
+
+// OpenAuth loads an auth file: {"clients":[{"name":...,"token":...,
+// "rate":...,"burst":...,"quota":...}, ...]}.
+func OpenAuth(path string, metrics *obs.Registry) (*Auth, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: auth file: %w", err)
+	}
+	var f authFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("cluster: %w: auth file %s: %v", ErrBadConfig, path, err)
+	}
+	return NewAuth(f.Clients, metrics)
+}
+
+// Clients returns the number of configured client policies.
+func (a *Auth) Clients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.clients)
+}
+
+// Admit decides one request: it resolves the token, charges the quota
+// and the token bucket, and returns the client name on success or a
+// policy sentinel (ErrUnauthorized, ErrRateLimited, ErrQuotaExhausted)
+// on refusal. now is a parameter so tests can drive the bucket clock.
+func (a *Auth) Admit(token string, now time.Time) (string, error) {
+	name, err := a.admit(token, now)
+	switch {
+	case err == nil:
+		a.metrics.Add(obs.Label(obs.MetricClusterAuth, "result", "ok"), 1)
+		a.metrics.Add(obs.Label(obs.MetricClusterAuth, "client", name), 1)
+	case err == ErrUnauthorized:
+		a.metrics.Add(obs.Label(obs.MetricClusterAuth, "result", "unauthorized"), 1)
+	case err == ErrRateLimited:
+		a.metrics.Add(obs.Label(obs.MetricClusterAuth, "result", "rate_limited"), 1)
+	case err == ErrQuotaExhausted:
+		a.metrics.Add(obs.Label(obs.MetricClusterAuth, "result", "quota"), 1)
+	}
+	if err != nil {
+		if name == "" {
+			return "", fmt.Errorf("cluster: %w", err)
+		}
+		return name, fmt.Errorf("cluster: client %q: %w", name, err)
+	}
+	return name, nil
+}
+
+// admit is the locked decision core; metrics happen in Admit after the
+// lock is released (leaf-mutex discipline).
+func (a *Auth) admit(token string, now time.Time) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.clients[token]
+	if token == "" || !ok {
+		return "", ErrUnauthorized
+	}
+	if st.pol.Quota > 0 && st.used >= st.pol.Quota {
+		return st.pol.Name, ErrQuotaExhausted
+	}
+	if st.pol.Rate > 0 {
+		if !st.last.IsZero() {
+			st.tokens += now.Sub(st.last).Seconds() * st.pol.Rate
+			if st.tokens > st.pol.Burst {
+				st.tokens = st.pol.Burst
+			}
+		}
+		st.last = now
+		if st.tokens < 1 {
+			return st.pol.Name, ErrRateLimited
+		}
+		st.tokens--
+	}
+	st.used++
+	return st.pol.Name, nil
+}
+
+// Used returns how many requests the named client has been admitted
+// for (0 for unknown clients). For tests and quota dashboards.
+func (a *Auth) Used(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, st := range a.clients {
+		if st.pol.Name == name {
+			return st.used
+		}
+	}
+	return 0
+}

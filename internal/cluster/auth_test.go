@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+func TestAuthAdmitPaths(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := NewAuth([]Policy{
+		{Name: "ci", Token: "tok-ci", Rate: 2, Burst: 2},
+		{Name: "batch", Token: "tok-batch", Quota: 2},
+		{Name: "free", Token: "tok-free"},
+	}, reg)
+	if err != nil {
+		t.Fatalf("NewAuth: %v", err)
+	}
+	now := time.Unix(5000, 0)
+
+	if _, err := a.Admit("", now); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("empty token: %v, want ErrUnauthorized", err)
+	}
+	if _, err := a.Admit("nope", now); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unknown token: %v, want ErrUnauthorized", err)
+	}
+
+	// Rate limit: burst of 2 admits two, then refuses until refill.
+	for i := 0; i < 2; i++ {
+		if name, err := a.Admit("tok-ci", now); err != nil || name != "ci" {
+			t.Fatalf("burst admit %d: name=%q err=%v", i, name, err)
+		}
+	}
+	if _, err := a.Admit("tok-ci", now); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("exhausted bucket: %v, want ErrRateLimited", err)
+	}
+	// 2 req/s refills one token in 500ms.
+	if _, err := a.Admit("tok-ci", now.Add(time.Second/2)); err != nil {
+		t.Fatalf("refilled bucket: %v", err)
+	}
+
+	// Quota: terminal after 2 admits, regardless of elapsed time.
+	for i := 0; i < 2; i++ {
+		if _, err := a.Admit("tok-batch", now); err != nil {
+			t.Fatalf("quota admit %d: %v", i, err)
+		}
+	}
+	if _, err := a.Admit("tok-batch", now.Add(time.Hour)); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("exhausted quota: %v, want ErrQuotaExhausted", err)
+	}
+	if got := a.Used("batch"); got != 2 {
+		t.Fatalf("Used(batch) = %d, want 2", got)
+	}
+
+	// Unlimited client: no rate, no quota.
+	for i := 0; i < 50; i++ {
+		if _, err := a.Admit("tok-free", now); err != nil {
+			t.Fatalf("unlimited admit %d: %v", i, err)
+		}
+	}
+
+	var assert = func(label string, want int64) {
+		t.Helper()
+		if got := reg.Counter(label); got != want {
+			t.Fatalf("%s = %d, want %d", label, got, want)
+		}
+	}
+	assert(obs.Label(obs.MetricClusterAuth, "result", "unauthorized"), 2)
+	assert(obs.Label(obs.MetricClusterAuth, "result", "rate_limited"), 1)
+	assert(obs.Label(obs.MetricClusterAuth, "result", "quota"), 1)
+	assert(obs.Label(obs.MetricClusterAuth, "client", "free"), 50)
+}
+
+func TestAuthRejectsBadPolicies(t *testing.T) {
+	cases := [][]Policy{
+		nil,
+		{{Name: "a", Token: ""}},
+		{{Name: "", Token: "t"}},
+		{{Name: "a", Token: "t", Rate: -1}},
+		{{Name: "a", Token: "t"}, {Name: "b", Token: "t"}},
+	}
+	for i, pols := range cases {
+		if _, err := NewAuth(pols, nil); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestOpenAuth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "auth.json")
+	blob := `{"clients":[{"name":"ci","token":"tok","rate":5,"quota":100}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAuth(path, nil)
+	if err != nil {
+		t.Fatalf("OpenAuth: %v", err)
+	}
+	if a.Clients() != 1 {
+		t.Fatalf("Clients() = %d, want 1", a.Clients())
+	}
+	if name, err := a.Admit("tok", time.Unix(1, 0)); err != nil || name != "ci" {
+		t.Fatalf("Admit: name=%q err=%v", name, err)
+	}
+
+	if _, err := OpenAuth(filepath.Join(dir, "missing.json"), nil); err == nil {
+		t.Fatal("OpenAuth on a missing file must fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAuth(bad, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("OpenAuth on malformed JSON: %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults; Config can override all three.
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerBase      = 250 * time.Millisecond
+	defaultBreakerMax       = 15 * time.Second
+)
+
+// Breaker is a small per-peer circuit breaker. Consecutive failures at
+// or past the threshold open the circuit for an exponentially growing,
+// jittered backoff window; any success closes it again. While open,
+// Allow reports false and the router skips the peer (falling through
+// to the next replica or to local compute), so a dead peer costs one
+// timed-out probe per backoff window instead of one per request. The
+// jitter (±25%) keeps a fleet of nodes from re-probing a recovering
+// peer in lockstep.
+//
+// The mutex is a leaf in the repo lock order (DESIGN.md §5.12): no
+// callee is invoked while it is held.
+type Breaker struct {
+	threshold int
+	base, max time.Duration
+
+	mu        sync.Mutex
+	fails     int       // guarded by mu
+	openUntil time.Time // guarded by mu
+	rng       uint64    // guarded by mu (xorshift state for backoff jitter)
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures, backing off from base doubling up to max (≤ 0 picks the
+// package defaults).
+func NewBreaker(threshold int, base, max time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if base <= 0 {
+		base = defaultBreakerBase
+	}
+	if max <= 0 {
+		max = defaultBreakerMax
+	}
+	return &Breaker{threshold: threshold, base: base, max: max,
+		rng: uint64(time.Now().UnixNano()) | 1}
+}
+
+// Allow reports whether a request may be sent to the peer now.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.After(b.openUntil) || b.openUntil.IsZero()
+}
+
+// Success records a successful exchange and closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// Failure records a failed exchange. Once the consecutive-failure
+// count reaches the threshold the circuit opens for a jittered
+// exponential backoff window; the return value reports a closed→open
+// transition (the event the breaker-trip metric counts).
+func (b *Breaker) Failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails < b.threshold {
+		return false
+	}
+	wasOpen := !b.openUntil.IsZero() && now.Before(b.openUntil)
+	delay := b.base
+	for i := b.threshold; i < b.fails && delay < b.max; i++ {
+		delay *= 2
+	}
+	if delay > b.max {
+		delay = b.max
+	}
+	// xorshift64: cheap deterministic-state jitter in [0.75, 1.25).
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	jitter := 0.75 + float64(b.rng%1024)/2048
+	b.openUntil = now.Add(time.Duration(float64(delay) * jitter))
+	return !wasOpen
+}
+
+// Fails returns the current consecutive-failure count (for tests and
+// status reporting).
+func (b *Breaker) Fails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

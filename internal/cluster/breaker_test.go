@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := NewBreaker(3, 100*time.Millisecond, time.Second)
+	now := time.Unix(1000, 0)
+	if !b.Allow(now) {
+		t.Fatal("fresh breaker must allow traffic")
+	}
+	if b.Failure(now) {
+		t.Fatal("first failure must not open the circuit")
+	}
+	if b.Failure(now) {
+		t.Fatal("second failure must not open the circuit")
+	}
+	if !b.Failure(now) {
+		t.Fatal("third failure must report the closed→open transition")
+	}
+	if b.Allow(now) {
+		t.Fatal("open circuit must refuse traffic")
+	}
+	// Jitter is at most +25%, so after 1.25*base the window has passed.
+	later := now.Add(125 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("circuit must half-open once the backoff window passes")
+	}
+	b.Success()
+	if b.Fails() != 0 || !b.Allow(now) {
+		t.Fatal("success must close the circuit and reset the failure count")
+	}
+}
+
+func TestBreakerBackoffGrowsAndCaps(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 400 * time.Millisecond
+	b := NewBreaker(1, base, max)
+	now := time.Unix(2000, 0)
+	prev := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		b.Failure(now)
+		win := b.openUntil.Sub(now)
+		if win < time.Duration(0.75*float64(base)) {
+			t.Fatalf("failure %d: window %v below jittered base", i, win)
+		}
+		if win > time.Duration(1.25*float64(max)) {
+			t.Fatalf("failure %d: window %v above jittered cap", i, win)
+		}
+		if i >= 1 && i <= 2 && win < prev/2 {
+			t.Fatalf("failure %d: window %v shrank too much from %v", i, win, prev)
+		}
+		prev = win
+	}
+}
+
+func TestBreakerReopenIsNotATransition(t *testing.T) {
+	b := NewBreaker(1, time.Minute, time.Hour)
+	now := time.Unix(3000, 0)
+	if !b.Failure(now) {
+		t.Fatal("first failure at threshold 1 must open")
+	}
+	// Still inside the open window: extending it is not a new trip.
+	if b.Failure(now.Add(time.Second)) {
+		t.Fatal("failure while already open must not report a transition")
+	}
+}

@@ -1,0 +1,28 @@
+package cluster
+
+import "errors"
+
+// Sentinel errors of the cluster layer. Everything returned across the
+// package boundary wraps one of these (or an upstream error) so the
+// serve frontend can branch with errors.Is: bad static configuration
+// is a startup failure, peer trouble selects the local-compute
+// fallback, and the three policy sentinels map onto 401/429.
+var (
+	// ErrBadConfig marks invalid static configuration: empty or
+	// duplicate membership, a self ID missing from the peer list, a
+	// malformed -peers or auth-file entry.
+	ErrBadConfig = errors.New("bad cluster config")
+	// ErrBadPeer marks a reference to a node ID outside the membership.
+	ErrBadPeer = errors.New("unknown peer")
+	// ErrPeerDown marks a peer that is unreachable, answering 5xx, or
+	// circuit-broken. Callers degrade (compute locally), never fail.
+	ErrPeerDown = errors.New("peer unavailable")
+	// ErrUnauthorized marks a missing or unknown bearer token (401).
+	ErrUnauthorized = errors.New("unauthorized")
+	// ErrRateLimited marks a client that exhausted its token bucket;
+	// the request may be retried after a short wait (429).
+	ErrRateLimited = errors.New("rate limited")
+	// ErrQuotaExhausted marks a client that used up its admission
+	// quota; retrying does not help until the quota is raised (429).
+	ErrQuotaExhausted = errors.New("quota exhausted")
+)

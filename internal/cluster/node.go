@@ -1,0 +1,318 @@
+// Package cluster turns the single-node retiming service into a
+// sharded multi-node system. It provides the pieces the engine
+// frontend composes: a consistent-hash ring (virtual nodes,
+// replication) over job content addresses with a static membership
+// list, an HTTP peer client for the internal protocol
+// (POST /internal/v1/jobs forwards a submission to the owner shard,
+// GET /internal/v1/cache/{key} pulls a warm claim blob,
+// GET /internal/v1/jobs/{id} proxies a status poll), per-peer failure
+// handling (request timeouts, a small circuit breaker with jittered
+// exponential backoff), and a front-door policy layer (bearer tokens,
+// token-bucket rate limits, admission quotas).
+//
+// Trust model — claims, not results: the peer protocol only ever
+// moves serializable claim blobs (the engine cache's entry format) and
+// job requests. A peer-fetched entry is restored onto a locally built
+// circuit, re-evaluated and re-certified (cert.Run) before it is
+// served or stored, so a poisoned or malicious peer can corrupt
+// nothing: at worst it costs the local recompute that would have
+// happened anyway. Failure model — degrade, never fail: when the
+// owner shard is unreachable the submission is computed locally; when
+// every peer is down the node behaves exactly like a single-node
+// deployment.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+// Peer-client defaults; Config can override.
+const (
+	defaultTimeout  = 2 * time.Second
+	defaultReplicas = 2
+	// maxPeerBody bounds how much of a peer response is read: claim
+	// blobs and job statuses are small; anything bigger is hostile.
+	maxPeerBody = 4 << 20
+)
+
+// PeerSpec names one member of the static cluster membership.
+type PeerSpec struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses a -peers flag value: comma-separated id=url pairs,
+// e.g. "n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080". The self
+// entry may omit the URL ("n1=").
+func ParsePeers(s string) ([]PeerSpec, error) {
+	var specs []PeerSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(tok, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("cluster: %w: peer %q is not id=url", ErrBadConfig, tok)
+		}
+		if rawURL != "" {
+			u, err := url.Parse(rawURL)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("cluster: %w: peer %q has a malformed URL", ErrBadConfig, tok)
+			}
+		}
+		specs = append(specs, PeerSpec{ID: id, URL: strings.TrimSuffix(rawURL, "/")})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: %w: empty peer list", ErrBadConfig)
+	}
+	return specs, nil
+}
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, self included (self's URL
+	// may be empty — a node never dials itself).
+	Peers []PeerSpec
+	// VNodes is the virtual-node count per member (≤ 0 = 64).
+	VNodes int
+	// Replicas is how many ring owners a key has (≤ 0 = 2, clamped to
+	// the membership size). The first live owner serves the key; the
+	// rest are fallbacks and extra peer-cache sources.
+	Replicas int
+	// Timeout bounds each peer HTTP exchange (≤ 0 = 2s).
+	Timeout time.Duration
+	// BreakerThreshold/BreakerBase/BreakerMax tune the per-peer
+	// circuit breaker (≤ 0 = 3 failures, 250ms base, 15s cap).
+	BreakerThreshold int
+	BreakerBase      time.Duration
+	BreakerMax       time.Duration
+	// Metrics receives the relatch_cluster_* families (nil = none).
+	Metrics *obs.Registry
+	// Client overrides the peer HTTP client (nil = one with Timeout).
+	Client *http.Client
+}
+
+// peer is one remote member: its base URL and breaker. Immutable after
+// New except for the breaker's own state.
+type peer struct {
+	id   string
+	base string
+	br   *Breaker
+}
+
+// Node is one shard of the cluster: the ring, the remote peers and the
+// outbound half of the peer protocol. All fields are set in New and
+// never mutated, so Node needs no lock of its own; per-peer state
+// lives in each breaker.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	self   string
+	peers  map[string]*peer
+	order  []string // remote peer IDs, sorted — deterministic iteration
+	client *http.Client
+}
+
+// New builds a node over a static membership. Self must be a member;
+// every remote member needs a URL.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: %w: node needs a self ID", ErrBadConfig)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		ids = append(ids, p.ID)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = defaultReplicas
+	}
+	if cfg.Replicas > len(ids) {
+		cfg.Replicas = len(ids)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	n := &Node{cfg: cfg, ring: ring, self: cfg.Self, peers: make(map[string]*peer), client: cfg.Client}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.Self {
+			selfSeen = true
+			continue
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: %w: remote peer %q has no URL", ErrBadConfig, p.ID)
+		}
+		if _, dup := n.peers[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: %w: duplicate peer ID %q", ErrBadConfig, p.ID)
+		}
+		n.peers[p.ID] = &peer{id: p.ID, base: p.URL,
+			br: NewBreaker(cfg.BreakerThreshold, cfg.BreakerBase, cfg.BreakerMax)}
+		n.order = append(n.order, p.ID)
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: %w: self %q is not in the peer list", ErrBadConfig, cfg.Self)
+	}
+	sort.Strings(n.order)
+	cfg.Metrics.Set(obs.MetricClusterPeers, int64(len(n.order)))
+	return n, nil
+}
+
+// Self returns this node's ID.
+func (n *Node) Self() string { return n.self }
+
+// Members returns the full membership size (self included).
+func (n *Node) Members() int { return len(n.order) + 1 }
+
+// Owners returns the replication-ordered owner list for a key.
+func (n *Node) Owners(key string) []string { return n.ring.Owners(key, n.cfg.Replicas) }
+
+// Route picks where a key's submission should run right now: the first
+// owner that is either self or a peer whose breaker admits traffic.
+// When no owner is reachable it degrades to local compute — the
+// "degrade, never fail" contract.
+func (n *Node) Route(key string, now time.Time) (peerID string, local bool) {
+	for _, id := range n.Owners(key) {
+		if id == n.self {
+			return "", true
+		}
+		if p, ok := n.peers[id]; ok && p.br.Allow(now) {
+			return id, false
+		}
+	}
+	return "", true
+}
+
+// ForwardJob pushes a raw submission body to a peer's internal job
+// endpoint, propagating the request ID, and returns the peer's status
+// code and body. Transport failures and 5xx answers count against the
+// peer's breaker and come back wrapping ErrPeerDown, which tells the
+// caller to fall back to local compute.
+func (n *Node) ForwardJob(ctx context.Context, peerID string, body []byte, requestID string) (int, []byte, error) {
+	p, ok := n.peers[peerID]
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: %w: %q", ErrBadPeer, peerID)
+	}
+	code, resp, err := n.exchange(ctx, p, http.MethodPost, p.base+"/internal/v1/jobs", body, requestID)
+	if err != nil {
+		n.count(obs.MetricClusterForward, "outcome", "fallback_local")
+		return 0, nil, err
+	}
+	n.count(obs.MetricClusterForward, "outcome", "ok")
+	return code, resp, nil
+}
+
+// JobStatus proxies a status poll to the peer that owns a forwarded
+// job.
+func (n *Node) JobStatus(ctx context.Context, peerID, jobID string) (int, []byte, error) {
+	p, ok := n.peers[peerID]
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: %w: %q", ErrBadPeer, peerID)
+	}
+	code, resp, err := n.exchange(ctx, p, http.MethodGet, p.base+"/internal/v1/jobs/"+url.PathEscape(jobID), nil, "")
+	if err != nil {
+		n.count(obs.MetricClusterStatusProxied, "outcome", "error")
+		return 0, nil, err
+	}
+	n.count(obs.MetricClusterStatusProxied, "outcome", "ok")
+	return code, resp, nil
+}
+
+// FetchEntry pulls the raw claim blob for a key from the first remote
+// owner that has it. A (nil, nil) return is a clean miss. The caller
+// (the engine cache) revalidates the blob before trusting a byte of
+// it; this method only moves bytes.
+func (n *Node) FetchEntry(ctx context.Context, key string) ([]byte, error) {
+	now := time.Now()
+	for _, id := range n.Owners(key) {
+		if id == n.self {
+			continue
+		}
+		p, ok := n.peers[id]
+		if !ok || !p.br.Allow(now) {
+			continue
+		}
+		code, body, err := n.exchange(ctx, p, http.MethodGet, p.base+"/internal/v1/cache/"+url.PathEscape(key), nil, "")
+		switch {
+		case err != nil:
+			n.count(obs.MetricClusterPeerFetch, "outcome", "error")
+			continue
+		case code == http.StatusOK:
+			n.count(obs.MetricClusterPeerFetch, "outcome", "hit")
+			return body, nil
+		default:
+			n.count(obs.MetricClusterPeerFetch, "outcome", "miss")
+		}
+	}
+	return nil, nil
+}
+
+// exchange runs one peer HTTP round trip under the node timeout and
+// settles the peer's breaker. 5xx answers are peer failures (the peer
+// is up but sick); 2xx—4xx are protocol answers the caller interprets.
+func (n *Node) exchange(ctx context.Context, p *peer, method, target string, body []byte, requestID string) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: peer %s: %w", p.id, err)
+	}
+	req.Header.Set("Accept", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.fail(p)
+		return 0, nil, fmt.Errorf("cluster: %w: %s: %v", ErrPeerDown, p.id, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		n.fail(p)
+		return 0, nil, fmt.Errorf("cluster: %w: %s: reading response: %v", ErrPeerDown, p.id, err)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		n.fail(p)
+		return 0, nil, fmt.Errorf("cluster: %w: %s answered %d", ErrPeerDown, p.id, resp.StatusCode)
+	}
+	p.br.Success()
+	return resp.StatusCode, raw, nil
+}
+
+// fail settles a breaker failure and counts the closed→open trip.
+func (n *Node) fail(p *peer) {
+	if p.br.Failure(time.Now()) {
+		n.count(obs.MetricClusterBreakerOpen, "peer", p.id)
+	}
+}
+
+// count bumps one labelled cluster counter (no-op without a registry).
+func (n *Node) count(family, label, value string) {
+	n.cfg.Metrics.Add(obs.Label(family, label, value), 1)
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"relatch/internal/obs"
+)
+
+func TestParsePeers(t *testing.T) {
+	specs, err := ParsePeers("n1=http://127.0.0.1:1234, n2=http://127.0.0.1:5678/ ,n3=")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []PeerSpec{
+		{ID: "n1", URL: "http://127.0.0.1:1234"},
+		{ID: "n2", URL: "http://127.0.0.1:5678"}, // trailing slash trimmed
+		{ID: "n3", URL: ""},                      // self entry may omit the URL
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d: %v", len(specs), len(want), specs)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "   ", "nourl", "=http://x", "n1=:not-a-url"} {
+		if _, err := ParsePeers(bad); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("ParsePeers(%q) error = %v, want ErrBadConfig", bad, err)
+		}
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	cases := []Config{
+		{Self: "", Peers: []PeerSpec{{ID: "n1", URL: "http://x"}}},
+		{Self: "n9", Peers: []PeerSpec{{ID: "n1", URL: "http://x"}}},             // self not a member
+		{Self: "n1", Peers: []PeerSpec{{ID: "n1"}, {ID: "n2"}}},                  // remote without URL
+		{Self: "n1", Peers: []PeerSpec{{ID: "n1"}, {ID: "n1", URL: "http://x"}}}, // duplicate ID
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	reg := obs.NewRegistry()
+	n, err := New(Config{Self: "n1", Peers: []PeerSpec{{ID: "n1"}, {ID: "n2", URL: "http://h2"}, {ID: "n3", URL: "http://h3"}}, Metrics: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if n.Members() != 3 || n.Self() != "n1" {
+		t.Fatalf("Members=%d Self=%q", n.Members(), n.Self())
+	}
+	if got := reg.Gauge(obs.MetricClusterPeers); got != 2 {
+		t.Fatalf("peer gauge = %d, want 2", got)
+	}
+}
+
+// TestRouteDegradesToLocal checks the routing ladder: self-owned keys
+// run locally, peer-owned keys forward, and a key whose every remote
+// owner is circuit-broken falls back to local compute.
+func TestRouteDegradesToLocal(t *testing.T) {
+	n, err := New(Config{
+		Self:             "n1",
+		Peers:            []PeerSpec{{ID: "n1"}, {ID: "n2", URL: "http://h2"}, {ID: "n3", URL: "http://h3"}},
+		Replicas:         2,
+		BreakerThreshold: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := time.Unix(9000, 0)
+
+	// Find a key owned by a remote node with a remote second replica.
+	var key, owner string
+	for i := 0; i < 200 && key == ""; i++ {
+		k := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		owners := n.Owners(k)
+		if owners[0] != "n1" && owners[1] != "n1" {
+			key, owner = k, owners[0]
+		}
+	}
+	if key == "" {
+		t.Fatal("no fully-remote key found in the probe set")
+	}
+
+	if id, local := n.Route(key, now); local || id != owner {
+		t.Fatalf("Route(%q) = (%q, %v), want owner %q", key, id, local, owner)
+	}
+	// Break the first owner: routing moves to the second replica.
+	n.peers[owner].br.Failure(now)
+	second := n.Owners(key)[1]
+	if id, local := n.Route(key, now); local || id != second {
+		t.Fatalf("Route with owner broken = (%q, %v), want %q", id, local, second)
+	}
+	// Break every remote owner: degrade to local compute.
+	n.peers[second].br.Failure(now)
+	if _, local := n.Route(key, now); !local {
+		t.Fatal("Route with all owners broken must degrade to local")
+	}
+
+	// A self-owned key always runs locally.
+	for i := 0; i < 200; i++ {
+		k := "self-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if n.Owners(k)[0] == "n1" {
+			if _, local := n.Route(k, now); !local {
+				t.Fatalf("Route(%q) should be local: self owns it", k)
+			}
+			return
+		}
+	}
+	t.Fatal("no self-owned key found in the probe set")
+}
+
+func TestForwardJobAndFetchEntry(t *testing.T) {
+	var gotRequestID, gotAccept string
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/internal/v1/jobs":
+			gotRequestID = r.Header.Get("X-Request-Id")
+			gotAccept = r.Header.Get("Accept")
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"id":"j1"}`))
+		case r.Method == http.MethodGet && r.URL.Path == "/internal/v1/cache/deadbeef":
+			w.Write([]byte(`{"schema_version":1}`))
+		case r.Method == http.MethodGet && r.URL.Path == "/internal/v1/jobs/j1":
+			w.Write([]byte(`{"state":"done"}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer peerSrv.Close()
+
+	reg := obs.NewRegistry()
+	n, err := New(Config{Self: "n1", Peers: []PeerSpec{{ID: "n1"}, {ID: "n2", URL: peerSrv.URL}}, Metrics: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+
+	code, body, err := n.ForwardJob(ctx, "n2", []byte(`{"name":"x"}`), "req-abc")
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("ForwardJob: code=%d err=%v", code, err)
+	}
+	if string(body) != `{"id":"j1"}` || gotRequestID != "req-abc" || gotAccept != "application/json" {
+		t.Fatalf("ForwardJob plumbing: body=%q requestID=%q accept=%q", body, gotRequestID, gotAccept)
+	}
+	if _, _, err := n.ForwardJob(ctx, "ghost", nil, ""); !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("ForwardJob to unknown peer: %v, want ErrBadPeer", err)
+	}
+
+	if code, body, err := n.JobStatus(ctx, "n2", "j1"); err != nil || code != http.StatusOK || string(body) != `{"state":"done"}` {
+		t.Fatalf("JobStatus: code=%d body=%q err=%v", code, body, err)
+	}
+
+	// The remote owner of "deadbeef" serves the blob; a missing key is
+	// a clean miss (nil, nil).
+	blob, err := n.FetchEntry(ctx, "deadbeef")
+	if err != nil {
+		t.Fatalf("FetchEntry: %v", err)
+	}
+	if n.Owners("deadbeef")[0] == "n2" || n.Owners("deadbeef")[1] == "n2" {
+		if string(blob) != `{"schema_version":1}` {
+			t.Fatalf("FetchEntry blob = %q", blob)
+		}
+	}
+	if blob, err := n.FetchEntry(ctx, "no-such-key"); err != nil || blob != nil {
+		t.Fatalf("FetchEntry miss: blob=%q err=%v", blob, err)
+	}
+
+	if got := reg.Counter(obs.Label(obs.MetricClusterForward, "outcome", "ok")); got != 1 {
+		t.Fatalf("forward ok counter = %d, want 1", got)
+	}
+}
+
+// TestPeerFailureTripsBreaker drives a dead peer: transport errors wrap
+// ErrPeerDown, the breaker opens after the threshold and the trip is
+// counted once.
+func TestPeerFailureTripsBreaker(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	reg := obs.NewRegistry()
+	n, err := New(Config{
+		Self:             "n1",
+		Peers:            []PeerSpec{{ID: "n1"}, {ID: "n2", URL: dead.URL}},
+		BreakerThreshold: 2,
+		BreakerBase:      time.Minute,
+		Metrics:          reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := n.ForwardJob(ctx, "n2", nil, ""); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("attempt %d: %v, want ErrPeerDown", i, err)
+		}
+	}
+	if n.peers["n2"].br.Allow(time.Now()) {
+		t.Fatal("breaker must be open after repeated 5xx answers")
+	}
+	if got := reg.Counter(obs.Label(obs.MetricClusterBreakerOpen, "peer", "n2")); got != 1 {
+		t.Fatalf("breaker-open counter = %d, want 1 (one transition)", got)
+	}
+	if got := reg.Counter(obs.Label(obs.MetricClusterForward, "outcome", "fallback_local")); got != 3 {
+		t.Fatalf("fallback counter = %d, want 3", got)
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is the virtual-node count per physical node. 64 points
+// per node keeps the per-node load share within a few percent of 1/N
+// for small clusters while the ring stays tiny (N*64 points).
+const defaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the hash circle owned
+// by a physical node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over node IDs: each node is hashed
+// onto the circle at VNodes positions, and a key belongs to the first
+// node clockwise from the key's own hash. Membership is static (the
+// -peers list); "rebalance on peer death" is a routing-time concern —
+// Owners returns the replication-ordered candidate list and the caller
+// skips dead entries, which is exactly the consistent-hashing
+// guarantee: removing a node only reassigns the keys it owned.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// NewRing builds a ring over the given node IDs with vnodes virtual
+// nodes each (≤ 0 means the default). IDs must be non-empty and
+// distinct.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: %w: ring needs at least one node", ErrBadConfig)
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	ids := append([]string(nil), nodes...)
+	sort.Strings(ids)
+	for i, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: %w: empty node ID", ErrBadConfig)
+		}
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("cluster: %w: duplicate node ID %q", ErrBadConfig, id)
+		}
+	}
+	r := &Ring{nodes: ids, points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(id + "#" + strconv.Itoa(v)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the sorted member IDs.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns up to n distinct nodes responsible for key, in
+// replication order: the key's owner first, then the next distinct
+// nodes clockwise. Deterministic in (membership, key).
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+// Owner returns the single node responsible for key.
+func (r *Ring) Owner(key string) string { return r.Owners(key, 1)[0] }
+
+// ringHash maps a string onto the hash circle. SHA-256 (truncated to
+// 64 bits) rather than FNV: node IDs and content addresses are short
+// and structured, and a cryptographic hash keeps vnode placement
+// uniform regardless of ID shape.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

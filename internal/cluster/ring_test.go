@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	r1, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0) // order must not matter
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		a, b := r1.Owners(key, 2), r2.Owners(key, 2)
+		if len(a) != 2 || len(b) != 2 {
+			t.Fatalf("Owners(%q) lengths: %d, %d", key, len(a), len(b))
+		}
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("Owners(%q) differ across construction orders: %v vs %v", key, a, b)
+		}
+		if a[0] == a[1] {
+			t.Fatalf("Owners(%q) not distinct: %v", key, a)
+		}
+	}
+	// Replication count clamps to the membership size.
+	if got := r1.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("Owners clamped = %v, want 3 distinct nodes", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	counts := map[string]int{}
+	const keys = 600
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%04d", i))]++
+	}
+	for _, id := range r.Nodes() {
+		if counts[id] < keys/6 {
+			t.Fatalf("node %s owns only %d/%d keys — ring badly unbalanced: %v", id, counts[id], keys, counts)
+		}
+	}
+}
+
+// TestRingConsistency is the consistent-hashing contract: dropping one
+// member only moves the keys that member owned; every other key keeps
+// its owner.
+func TestRingConsistency(t *testing.T) {
+	full, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	reduced, err := NewRing([]string{"n1", "n2"}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	moved := 0
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "n3" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s→%s although its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed node — test is vacuous")
+	}
+	// The routing-time equivalent: skipping a dead owner lands on the
+	// next replica, which is the reduced ring's choice for those keys.
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		owners := full.Owners(key, 3)
+		var skipDead []string
+		for _, id := range owners {
+			if id != "n3" {
+				skipDead = append(skipDead, id)
+			}
+		}
+		if skipDead[0] != reduced.Owner(key) {
+			t.Fatalf("key %q: skipping dead owner gives %s, reduced ring gives %s", key, skipDead[0], reduced.Owner(key))
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	for _, nodes := range [][]string{nil, {}, {""}, {"a", "a"}} {
+		if _, err := NewRing(nodes, 0); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("NewRing(%v) error = %v, want ErrBadConfig", nodes, err)
+		}
+	}
+}

@@ -36,15 +36,26 @@ const claimEpsilon = 1e-9
 
 // CacheStats counts cache traffic. Hits are in-memory; DiskHits are
 // restores from the on-disk layer (which also populate memory). Poisoned
-// counts entries that failed validation and were discarded.
+// counts entries that failed validation and were discarded. PeerHits are
+// claim blobs pulled from a cluster peer that survived revalidation;
+// PeerRejected counts peer blobs that failed it — the trust gate firing.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	DiskHits  int64 `json:"disk_hits"`
-	Stores    int64 `json:"stores"`
-	Evictions int64 `json:"evictions"`
-	Poisoned  int64 `json:"poisoned"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	DiskHits     int64 `json:"disk_hits"`
+	Stores       int64 `json:"stores"`
+	Evictions    int64 `json:"evictions"`
+	Poisoned     int64 `json:"poisoned"`
+	PeerHits     int64 `json:"peer_hits"`
+	PeerRejected int64 `json:"peer_rejected"`
 }
+
+// PeerFetcher pulls the raw claim blob for a key from a cluster peer.
+// A (nil, nil) return is a clean miss. The cache treats whatever comes
+// back as untrusted input: it is decoded, restored onto a fresh clone
+// and re-certified exactly like a local disk entry before being served
+// or stored, so the fetcher needs no integrity guarantees of its own.
+type PeerFetcher func(ctx context.Context, key string) ([]byte, error)
 
 // entry is the serializable claim set of a completed job — positions and
 // classifications, never derived numbers the restore path can recompute
@@ -101,6 +112,7 @@ type Cache struct {
 	ll    *list.List            // guarded by mu (front = most recent; values are *lruItem)
 	items map[Key]*list.Element // guarded by mu
 	stats CacheStats            // guarded by mu
+	peer  PeerFetcher           // guarded by mu (set once during serve wiring)
 }
 
 type lruItem struct {
@@ -129,6 +141,20 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 
 // Dir returns the disk layer directory ("" when memory-only).
 func (c *Cache) Dir() string { return c.dir }
+
+// SetPeer installs the cluster peer tier. Called once while the serve
+// stack is wired up; a nil fetcher leaves the cache two-layered.
+func (c *Cache) SetPeer(fetch PeerFetcher) {
+	c.mu.Lock()
+	c.peer = fetch
+	c.mu.Unlock()
+}
+
+func (c *Cache) peerFetcher() PeerFetcher {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
 
 // Len returns the number of entries currently resident in the memory
 // layer. The serving collector samples it as a gauge.
@@ -176,12 +202,19 @@ func (c *Cache) Get(ctx context.Context, key Key, job Job) (*Outcome, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.dir == "" {
-		c.miss(sp)
-		return nil, false
-	}
-	out, err := c.Probe(ctx, key, job)
-	if err != nil {
+	if c.dir != "" {
+		out, err := c.Probe(ctx, key, job)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.insertLocked(key, out)
+			c.mu.Unlock()
+			sp.Add("disk_hit", 1)
+			hit := *out
+			hit.CacheHit = true
+			hit.CacheLayer = "disk"
+			return &hit, true
+		}
 		if !os.IsNotExist(err) {
 			// A present-but-invalid entry is poisoned: drop the file so
 			// the recomputed result can take its place.
@@ -191,17 +224,52 @@ func (c *Cache) Get(ctx context.Context, key Key, job Job) (*Outcome, bool) {
 			sp.Add("poisoned", 1)
 			os.Remove(c.EntryPath(key))
 		}
-		c.miss(sp)
+	}
+	if out, ok := c.peerGet(ctx, sp, key, job); ok {
+		return out, true
+	}
+	c.miss(sp)
+	return nil, false
+}
+
+// peerGet tries the cluster peer tier. A fetched blob passes the exact
+// revalidation gate a local disk entry does — decode, restore onto a
+// fresh clone, re-derive, re-certify — before it is served or persisted,
+// so a poisoned or malicious peer can never inject an uncertified
+// result; at worst its blob is rejected, counted, and the key falls
+// through to local compute.
+func (c *Cache) peerGet(ctx context.Context, sp *obs.Span, key Key, job Job) (*Outcome, bool) {
+	fetch := c.peerFetcher()
+	if fetch == nil {
+		return nil, false
+	}
+	raw, err := fetch(ctx, key.String())
+	if err != nil || raw == nil {
+		return nil, false
+	}
+	e, err := decodeEntry(raw, key, job)
+	var out *Outcome
+	if err == nil {
+		out, err = c.restore(ctx, key, job, e)
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.stats.PeerRejected++
+		c.mu.Unlock()
+		sp.Add("peer_rejected", 1)
 		return nil, false
 	}
 	c.mu.Lock()
-	c.stats.DiskHits++
+	c.stats.PeerHits++
 	c.insertLocked(key, out)
 	c.mu.Unlock()
-	sp.Add("disk_hit", 1)
+	sp.Add("peer_hit", 1)
+	// The blob proved its claims; keep it so the next restart (and our
+	// own peers) can serve it from disk.
+	c.writeRaw(key, raw)
 	hit := *out
 	hit.CacheHit = true
-	hit.CacheLayer = "disk"
+	hit.CacheLayer = "peer"
 	return &hit, true
 }
 
@@ -232,6 +300,18 @@ func (c *Cache) Probe(ctx context.Context, key Key, job Job) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	e, err := decodeEntry(raw, key, job)
+	if err != nil {
+		return nil, err
+	}
+	return c.restore(ctx, key, job, e)
+}
+
+// decodeEntry parses a raw claim blob and checks its header against the
+// key and job it is supposed to answer. Shared by the disk and peer
+// tiers; the caller still restores (re-evaluates, re-certifies) the
+// claims before trusting them.
+func decodeEntry(raw []byte, key Key, job Job) (*entry, error) {
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
 		return nil, fmt.Errorf("engine: cache entry %s: %w", key.Short(), err)
@@ -247,7 +327,23 @@ func (c *Cache) Probe(ctx context.Context, key Key, job Job) (*Outcome, error) {
 		return nil, fmt.Errorf("engine: %w: entry %s: approach %q, want %q",
 			ErrCacheInvalid, key.Short(), e.Approach, job.Approach)
 	}
-	return c.restore(ctx, key, job, &e)
+	return &e, nil
+}
+
+// RawEntry returns the on-disk claim blob for a key — the payload of
+// the peer cache protocol. Only the disk layer is served: memory
+// outcomes hold live circuit state that cannot be reduced to claims
+// without the submitting job, and peers revalidate whatever they get
+// anyway, so a disk read is both sufficient and the cheapest honest
+// answer. Missing entries report os.ErrNotExist.
+func (c *Cache) RawEntry(ctx context.Context, key Key) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: cache entry %s: %w", key.Short(), err)
+	}
+	if c.dir == "" {
+		return nil, fmt.Errorf("engine: cache has no disk layer: %w", os.ErrNotExist)
+	}
+	return os.ReadFile(c.EntryPath(key))
 }
 
 // Put stores a freshly computed outcome in both layers. Outcomes that
@@ -279,8 +375,16 @@ func (c *Cache) Put(ctx context.Context, key Key, job Job, out *Outcome) {
 	if err != nil {
 		return
 	}
-	// Atomic publish: a crashed writer must never leave a torn entry
-	// that a later Get would flag as poisoned.
+	c.writeRaw(key, raw)
+}
+
+// writeRaw atomically publishes an entry blob to the disk layer: a
+// crashed writer must never leave a torn entry that a later Get would
+// flag as poisoned.
+func (c *Cache) writeRaw(key Key, raw []byte) {
+	if c.dir == "" {
+		return
+	}
 	tmp := c.EntryPath(key) + ".tmp"
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return

@@ -53,7 +53,8 @@ type Outcome struct {
 	Certificate *cert.Certificate
 
 	// CacheHit reports the outcome was restored rather than solved;
-	// CacheLayer says from where ("memory" or "disk"). Shared marks a
+	// CacheLayer says from where ("memory", "disk" or "peer"). Shared
+	// marks a
 	// deduplicated follower that rode on another submission's solve.
 	CacheHit   bool
 	CacheLayer string

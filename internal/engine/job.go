@@ -124,6 +124,18 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // Short returns the first 12 hex digits, for logs and span attributes.
 func (k Key) Short() string { return k.String()[:12] }
 
+// ParseKey parses the 64-hex rendering of a content address. The peer
+// cache protocol uses it to validate keys arriving over the wire.
+func ParseKey(s string) (Key, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != sha256.Size {
+		return Key{}, fmt.Errorf("engine: %w: malformed job key %q", ErrBadJob, s)
+	}
+	var k Key
+	copy(k[:], raw)
+	return k, nil
+}
+
 // canonical returns the job with approach-irrelevant fields zeroed, so
 // option noise (a PostSwap flag on a grar job, a PivotLimit on an nvl
 // job) cannot split the cache. It rejects jobs that cannot be

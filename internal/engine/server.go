@@ -1,20 +1,25 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"relatch/internal/bench"
 	"relatch/internal/cell"
 	"relatch/internal/clocking"
+	"relatch/internal/cluster"
 	"relatch/internal/flow"
 	"relatch/internal/netlist"
 	"relatch/internal/obs"
@@ -22,6 +27,15 @@ import (
 	"relatch/internal/sta"
 	"relatch/internal/verilog"
 )
+
+// maxSubmitBody bounds a POST /jobs payload; inline Verilog sources are
+// at most a few hundred kilobytes, so 8 MiB is generous.
+const maxSubmitBody = 8 << 20
+
+// maxForwarded bounds the forwarded-job table: the FIFO of job IDs this
+// node routed to peers so later polls can be proxied. Aged-out IDs
+// answer 404 like any unknown job — the owner still has the record.
+const maxForwarded = 4096
 
 // ServerConfig configures the HTTP frontend.
 type ServerConfig struct {
@@ -51,6 +65,18 @@ type ServerConfig struct {
 	// proxies from idling out the connection and bound how long a
 	// handler lingers after the client vanishes.
 	SSEHeartbeat time.Duration
+	// Cluster, when non-nil, makes this node one shard of a multi-node
+	// deployment: submissions for keys another node owns are forwarded
+	// there, the internal peer routes (/internal/v1/...) are mounted,
+	// and the cache gains the peer tier. Peer answers are trusted for
+	// routing only — cached claims always pass local revalidation.
+	Cluster *cluster.Node
+	// Auth, when non-nil, gates the public API behind per-client bearer
+	// tokens with rate limits and quotas. Health, readiness, metrics and
+	// the internal peer routes stay open: the first three feed probes
+	// and scrapers, and peers authenticate nothing because the trust
+	// model never believes their payloads anyway.
+	Auth *cluster.Auth
 }
 
 // Server is the rar -serve HTTP frontend: POST /jobs journals and
@@ -62,6 +88,10 @@ type ServerConfig struct {
 // Every response carries an X-Request-Id.
 type Server struct {
 	cfg ServerConfig
+
+	mu        sync.Mutex
+	forwarded map[string]string // guarded by mu (job ID → owning peer ID)
+	fifo      []string          // guarded by mu (insertion order, bounds forwarded)
 }
 
 // NewServer builds the HTTP frontend over a durable layer.
@@ -108,9 +138,9 @@ func withRequestID(next http.Handler) http.Handler {
 // not implement http.Flusher, which would break streaming.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs", s.withAuth(s.handleSubmit))
+	mux.HandleFunc("GET /jobs", s.withAuth(s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", s.withAuth(s.handleStatus))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Liveness: the process is up and serving HTTP. Nothing else —
@@ -119,14 +149,55 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.Cluster != nil {
+		// The peer protocol: forwarded submissions run locally (never
+		// re-forwarded — no routing loops), status polls answer from the
+		// local queue only, and the cache route serves raw claim blobs
+		// the fetching peer revalidates itself.
+		mux.HandleFunc("POST /internal/v1/jobs", s.handleInternalSubmit)
+		mux.HandleFunc("GET /internal/v1/jobs/{id}", s.handleInternalStatus)
+		mux.HandleFunc("GET /internal/v1/cache/{key}", s.handleCacheEntry)
+	}
 	var timed http.Handler = mux
 	if s.cfg.RequestTimeout > 0 {
 		timed = http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request timed out\n")
 	}
 	outer := http.NewServeMux()
-	outer.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	outer.HandleFunc("GET /jobs/{id}/events", s.withAuth(s.handleEvents))
 	outer.Handle("/", timed)
 	return withRequestID(outer)
+}
+
+// withAuth gates a public route behind the bearer-token policy layer.
+// Without an Auth config every request passes — single-node deployments
+// keep their open API.
+func (s *Server) withAuth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a := s.cfg.Auth
+		if a == nil {
+			next(w, r)
+			return
+		}
+		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		client, err := a.Admit(token, time.Now())
+		switch {
+		case errors.Is(err, cluster.ErrUnauthorized):
+			w.Header().Set("WWW-Authenticate", `Bearer realm="relatch"`)
+			httpError(w, http.StatusUnauthorized, err)
+			return
+		case errors.Is(err, cluster.ErrRateLimited), errors.Is(err, cluster.ErrQuotaExhausted):
+			// Both are 429; quota exhaustion just has a much longer
+			// retry horizon, which the body spells out.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.cfg.Logger.Debug("admitted", "client", client, "request_id", requestID(r))
+		next(w, r)
+	}
 }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
@@ -200,11 +271,30 @@ type jobStatus struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submitJob(w, r, false)
+}
+
+// handleInternalSubmit accepts a submission forwarded by a peer. It is
+// the same pipeline with forwarding disabled: the sender already routed
+// the key here, and a second hop could only loop.
+func (s *Server) handleInternalSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submitJob(w, r, true)
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, internal bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad request: %w", err))
+		return
+	}
 	var req JobRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad request: %w", err))
+		return
+	}
+	if !internal && s.cfg.Cluster != nil && s.forwardSubmit(w, r, req, body) {
 		return
 	}
 	d := s.cfg.Durable
@@ -243,13 +333,135 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.statusOf(j))
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+// forwardSubmit routes a submission to the shard that owns its content
+// address and relays the answer. It reports false whenever the local
+// pipeline should run instead — the key is self-owned, the request is
+// malformed (the local path produces the right 400), or the owner is
+// unreachable (degrade, never fail: compute locally rather than bounce
+// the client).
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, req JobRequest, body []byte) bool {
+	job, err := BuildJob(req)
+	if err != nil {
+		return false
+	}
+	key, err := job.Key()
+	if err != nil {
+		return false
+	}
+	peerID, local := s.cfg.Cluster.Route(key.String(), time.Now())
+	if local {
+		return false
+	}
+	// The request context carries no tracer (jobs are normally traced by
+	// the durable layer); attach the server's so the forward leg shows up
+	// in this node's trace with the request ID on it.
+	sp, ctx := obs.StartSpan(obs.WithTracer(r.Context(), s.cfg.Tracer), "cluster.forward")
+	defer sp.End()
+	sp.Attr("peer", peerID)
+	sp.Attr("key", key.Short())
+	sp.Attr("request_id", requestID(r))
+	code, resp, err := s.cfg.Cluster.ForwardJob(ctx, peerID, body, requestID(r))
+	if err != nil {
+		sp.Add("fallback_local", 1)
+		s.cfg.Logger.Warn("forward failed; computing locally",
+			"peer", peerID, "key", key.Short(), "request_id", requestID(r), "err", err)
+		return false
+	}
+	// The owner's answer stands — including a 429: its shedding decision
+	// reflects the load where the job would actually run, and absorbing
+	// the overflow here would defeat it.
+	if code == http.StatusAccepted || code == http.StatusOK {
+		var js jobStatus
+		if jerr := json.Unmarshal(resp, &js); jerr == nil && js.ID != "" {
+			s.rememberForward(js.ID, peerID)
+		}
+	}
+	s.cfg.Logger.Info("job forwarded", "peer", peerID, "key", key.Short(),
+		"code", code, "request_id", requestID(r))
+	w.Header().Set("X-Cluster-Node", peerID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(resp)
+	return true
+}
+
+// rememberForward records which peer owns a forwarded job so later
+// polls on this node can be proxied there.
+func (s *Server) rememberForward(id, peerID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.forwarded == nil {
+		s.forwarded = make(map[string]string, 64)
+	}
+	if _, ok := s.forwarded[id]; !ok {
+		s.fifo = append(s.fifo, id)
+	}
+	s.forwarded[id] = peerID
+	for len(s.fifo) > maxForwarded {
+		delete(s.forwarded, s.fifo[0])
+		s.fifo = s.fifo[1:]
+	}
+}
+
+// forwardedPeer looks up the owner of a job this node forwarded.
+func (s *Server) forwardedPeer(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.forwarded[id]
+	return p, ok
+}
+
+// handleCacheEntry serves the raw on-disk claim blob for a key — the
+// peer cache protocol. The response carries claims, never derived
+// results, and the fetching peer revalidates them before use, so this
+// route needs no authentication to be safe.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	key, err := ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	raw, err := s.cfg.Durable.Engine().Cache().RawEntry(r.Context(), key)
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("engine: no cache entry %s", key.Short()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
+
+// handleInternalStatus answers a proxied status poll from the local
+// queue only — no second proxy hop.
+func (s *Server) handleInternalStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.cfg.Durable.Queue().Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("engine: no job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.cfg.Durable.Queue().Get(id)
+	if ok {
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+		return
+	}
+	// A job this node forwarded lives in the owner's queue; proxy the
+	// poll so the client can keep talking to whichever node accepted it.
+	if peerID, fwd := s.forwardedPeer(id); fwd && s.cfg.Cluster != nil {
+		code, resp, err := s.cfg.Cluster.JobStatus(r.Context(), peerID, id)
+		if err == nil {
+			w.Header().Set("X-Cluster-Node", peerID)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write(resp)
+			return
+		}
+		s.cfg.Logger.Warn("status proxy failed", "peer", peerID, "id", id, "err", err)
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("engine: no job %q", id))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -292,6 +504,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"stored\"} %d\n", st.Cache.Stores)
 	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"evicted\"} %d\n", st.Cache.Evictions)
 	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"poisoned\"} %d\n", st.Cache.Poisoned)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"peer_hit\"} %d\n", st.Cache.PeerHits)
+	fmt.Fprintf(w, "relatch_engine_cache_total{event=\"peer_rejected\"} %d\n", st.Cache.PeerRejected)
 }
 
 // BuildJob turns an API request into an engine job: build the circuit,

@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"relatch/internal/cell"
+	"relatch/internal/cluster"
+	"relatch/internal/engine"
+)
+
+// clusterFaults attacks the sharded serving tier: malformed membership,
+// duplicated peers, credentials the policy layer must refuse, dead
+// peers, and — the trust invariant — peer cache entries whose claims
+// have been tampered with. Every corruption must surface as a
+// descriptive error at the layer that owns it; the one deliberate
+// exception is the tampered entry, where the cache API degrades to a
+// miss by design, so that case asserts the rejection accounting fired
+// and surfaces the underlying validation error via Probe.
+func clusterFaults(lib *cell.Library) []Fault {
+	return []Fault{
+		{
+			Name:  "membership entry without a URL",
+			Class: "cluster/bad-membership",
+			Inject: func(context.Context) error {
+				_, err := cluster.ParsePeers("node-a=http://127.0.0.1:1,node-b")
+				return err
+			},
+		},
+		{
+			Name:  "self missing from the membership list",
+			Class: "cluster/bad-membership",
+			Inject: func(context.Context) error {
+				specs, err := cluster.ParsePeers("node-a=http://127.0.0.1:1")
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = cluster.New(cluster.Config{Self: "node-z", Peers: specs})
+				return err
+			},
+		},
+		{
+			Name:  "two peers sharing one node ID",
+			Class: "cluster/duplicate-peer",
+			Inject: func(context.Context) error {
+				_, err := cluster.New(cluster.Config{Self: "node-a", Peers: []cluster.PeerSpec{
+					{ID: "node-a"},
+					{ID: "node-b", URL: "http://127.0.0.1:1"},
+					{ID: "node-b", URL: "http://127.0.0.1:2"},
+				}})
+				return err
+			},
+		},
+		{
+			Name:  "bearer token no policy grants",
+			Class: "cluster/unknown-token",
+			Inject: func(context.Context) error {
+				auth, err := cluster.NewAuth([]cluster.Policy{{Name: "ci", Token: "good"}}, nil)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = auth.Admit("stolen", time.Now())
+				return err
+			},
+		},
+		{
+			Name:  "client bursting past its token bucket",
+			Class: "cluster/rate-limited",
+			Inject: func(context.Context) error {
+				auth, err := cluster.NewAuth([]cluster.Policy{
+					{Name: "ci", Token: "t", Rate: 0.001, Burst: 1},
+				}, nil)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				now := time.Now()
+				if _, err := auth.Admit("t", now); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = auth.Admit("t", now)
+				return err
+			},
+		},
+		{
+			Name:  "client past its lifetime quota",
+			Class: "cluster/quota-exhausted",
+			Inject: func(context.Context) error {
+				auth, err := cluster.NewAuth([]cluster.Policy{
+					{Name: "ci", Token: "t", Quota: 1},
+				}, nil)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				now := time.Now()
+				if _, err := auth.Admit("t", now); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, err = auth.Admit("t", now)
+				return err
+			},
+		},
+		{
+			Name:  "forward to a peer that is not listening",
+			Class: "cluster/peer-down",
+			Inject: func(ctx context.Context) error {
+				node, err := cluster.New(cluster.Config{
+					Self: "node-a",
+					Peers: []cluster.PeerSpec{
+						{ID: "node-a"},
+						// TEST-NET-1 address: nothing routes there, so the
+						// dial fails fast inside the configured timeout.
+						{ID: "node-b", URL: "http://192.0.2.1:9"},
+					},
+					Timeout: 200 * time.Millisecond,
+				})
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				_, _, err = node.ForwardJob(ctx, "node-b", []byte(`{}`), "req-faults")
+				return err
+			},
+		},
+		{
+			Name:  "peer cache entry with tampered claims",
+			Class: "cluster/tampered-peer-entry",
+			Inject: func(ctx context.Context) error {
+				dir, err := os.MkdirTemp("", "relatch-faults-peer")
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				defer os.RemoveAll(dir)
+				cache, err := engine.NewCache(4, dir)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				job, err := engineJob(lib)
+				if err != nil {
+					return err
+				}
+				key, err := job.Key()
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				// Warm the "peer's" disk with a genuine solve, then inflate
+				// its area claim: still well-formed JSON with an honest
+				// header, only the claim lies.
+				eng := engine.New(engine.Config{Workers: 1, Cache: cache})
+				defer eng.Close()
+				if _, err := eng.Do(ctx, job); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				raw, err := cache.RawEntry(ctx, key)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				var claims map[string]any
+				if err := json.Unmarshal(raw, &claims); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				area, _ := claims["seq_area"].(float64)
+				claims["seq_area"] = area + 1
+				tampered, err := json.Marshal(claims)
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				if err := os.WriteFile(cache.EntryPath(key), tampered, 0o644); err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				// A fetching node wires the tampered peer behind a fresh
+				// cache: the revalidation gate must reject the blob (a
+				// degrade-to-miss by design, so silence here means the lie
+				// was served) ...
+				fetcher, err := engine.NewCache(4, "")
+				if err != nil {
+					return fmt.Errorf("faults: bad fixture: %v", err)
+				}
+				fetcher.SetPeer(func(context.Context, string) ([]byte, error) {
+					return tampered, nil
+				})
+				if _, ok := fetcher.Get(ctx, key, job); ok {
+					return nil // harness fails this: tampered claims were served
+				}
+				if fetcher.Stats().PeerRejected != 1 {
+					return nil // harness fails this: the gate never fired
+				}
+				// ... and Probe surfaces the same gate's verdict as the
+				// descriptive error this harness reports.
+				_, err = cache.Probe(ctx, key, job)
+				return err
+			},
+		},
+	}
+}

@@ -627,6 +627,7 @@ func Catalog() []Fault {
 	}
 	catalog = append(catalog, engineFaults(lib)...)
 	catalog = append(catalog, queueFaults()...)
+	catalog = append(catalog, clusterFaults(lib)...)
 	return append(catalog, obsFaults()...)
 }
 

@@ -37,11 +37,11 @@ func TestCatalog(t *testing.T) {
 }
 
 // TestCatalogCoversRequiredClasses pins the breadth of the harness: at
-// least sixteen distinct fault classes must stay registered.
+// least thirty distinct fault classes must stay registered.
 func TestCatalogCoversRequiredClasses(t *testing.T) {
 	classes := Classes(Catalog())
-	if len(classes) < 25 {
-		t.Fatalf("catalog covers %d classes, want >= 25: %v", len(classes), classes)
+	if len(classes) < 30 {
+		t.Fatalf("catalog covers %d classes, want >= 30: %v", len(classes), classes)
 	}
 	for _, required := range []string{
 		"verilog/comb-cycle",
@@ -63,6 +63,13 @@ func TestCatalogCoversRequiredClasses(t *testing.T) {
 		"obs/slow-subscriber",
 		"obs/subscriber-disconnect",
 		"obs/teardown-record",
+		"cluster/bad-membership",
+		"cluster/duplicate-peer",
+		"cluster/unknown-token",
+		"cluster/rate-limited",
+		"cluster/quota-exhausted",
+		"cluster/peer-down",
+		"cluster/tampered-peer-entry",
 	} {
 		if classes[required] == 0 {
 			t.Errorf("required fault class %s missing", required)

@@ -1,0 +1,38 @@
+package obs
+
+// Cluster metric families: the canonical names of the sharded-serving
+// metrics, centralised so internal/cluster (which records them), the
+// engine HTTP frontend (which exposes them on /metrics) and the tests
+// that validate the exposition all agree on spelling. Every family is
+// a Registry counter or gauge; label sets are rendered literally into
+// the registered name via Label, matching the registry's
+// one-name-per-series convention (see relatch_queue_jobs_total).
+const (
+	// MetricClusterForward counts submissions a non-owner node pushed
+	// to (or failed to push to) the owner shard.
+	// Labels: outcome="ok"|"fallback_local"|"peer_rejected".
+	MetricClusterForward = "relatch_cluster_forward_total"
+	// MetricClusterPeerFetch counts warm-result pulls over the peer
+	// cache protocol. Labels: outcome="hit"|"miss"|"error".
+	MetricClusterPeerFetch = "relatch_cluster_peer_fetch_total"
+	// MetricClusterBreakerOpen counts circuit-breaker trips, one per
+	// closed→open transition. Labels: peer="<node-id>".
+	MetricClusterBreakerOpen = "relatch_cluster_breaker_open_total"
+	// MetricClusterAuth counts front-door policy decisions.
+	// Labels: result="ok"|"unauthorized"|"rate_limited"|"quota".
+	MetricClusterAuth = "relatch_cluster_auth_total"
+	// MetricClusterPeers is a gauge of the static membership size
+	// (peers excluding self).
+	MetricClusterPeers = "relatch_cluster_peers"
+	// MetricClusterStatusProxied counts job-status polls answered by
+	// proxying to the owning peer. Labels: outcome="ok"|"error".
+	MetricClusterStatusProxied = "relatch_cluster_status_proxied_total"
+)
+
+// Label renders a metric family with one literal Prometheus label
+// pair, the form Registry.Add and Registry.Set expect:
+// Label("relatch_cluster_auth_total", "result", "ok") →
+// `relatch_cluster_auth_total{result="ok"}`.
+func Label(family, key, value string) string {
+	return family + `{` + key + `="` + value + `"}`
+}
